@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark suite.
+
+Every figure/table bench writes its rendered table to
+``benchmarks/results/<name>.txt`` (and echoes it) so one
+``pytest benchmarks/ --benchmark-only`` run regenerates the full set of
+paper artifacts.
+"""
+
+from pathlib import Path
+
+import pytest
+
+RESULTS = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS.mkdir(exist_ok=True)
+    return RESULTS
+
+
+@pytest.fixture
+def save_result(results_dir):
+    def _save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text)
+        print(f"\n{text}")
+
+    return _save

@@ -1,0 +1,181 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+D1: region-order quality (lexicographic / grouped / optimal / annealed).
+D2: real mmap vs simulated page-table views.
+D3: ghost-cell expansion factor (exchange volume x frequency trade).
+D4: brick size (padding waste vs message count vs kernel efficiency).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import format_table
+from repro.core.model import exchange_breakdown
+from repro.exchange.schedule import memmap_schedule
+from repro.hardware.profiles import theta_knl
+from repro.layout.messages import messages_for_order
+from repro.layout.order import (
+    SURFACE3D,
+    grouped_order,
+    lexicographic_order,
+)
+from repro.layout.search import anneal_order
+from repro.vmem import SimArena, default_arena, realmap_available
+
+
+class TestD1LayoutOrder:
+    def test_bench_order_quality(self, benchmark, save_result):
+        theta = theta_knl()
+
+        def evaluate():
+            annealed, _ = anneal_order(3, seed=1, restarts=4, iters=2000, target=42)
+            orders = {
+                "lexicographic": lexicographic_order(3),
+                "grouped": grouped_order(3),
+                "annealed": annealed,
+                "surface3d": SURFACE3D,
+            }
+            rows = []
+            for name, order in orders.items():
+                msgs = messages_for_order(order, 3)
+                comm = exchange_breakdown(
+                    theta, "layout", (16, 16, 16), layout=order
+                ).comm
+                rows.append([name, msgs, comm * 1e3])
+            return rows
+
+        rows = benchmark(evaluate)
+        save_result(
+            "ablation_d1_layout_order",
+            format_table(
+                "D1  Region-order quality (16^3 subdomain, Theta)",
+                ["order", "messages", "comm_ms"],
+                rows,
+            ),
+        )
+        by_name = {r[0]: r for r in rows}
+        assert by_name["surface3d"][1] == 42
+        assert by_name["annealed"][1] == 42
+        assert by_name["lexicographic"][1] > 42
+        # fewer messages -> never slower at the startup-bound size
+        assert by_name["surface3d"][2] <= by_name["lexicographic"][2]
+
+
+class TestD2MmapImplementation:
+    PAGE = 4096
+    NP = 64
+
+    def _arena(self, real):
+        make = default_arena if real else SimArena
+        arena = make(self.NP * self.PAGE, self.PAGE)
+        arena.buffer.view(np.float64)[:] = 1.0
+        chunks = [(p * self.PAGE, self.PAGE) for p in range(0, self.NP, 3)]
+        view = arena.make_view(chunks)
+        return arena, view
+
+    def test_bench_real_view_refresh(self, benchmark):
+        if not realmap_available():
+            pytest.skip("real memfd mapping unavailable")
+        arena, view = self._arena(real=True)
+
+        def touch():
+            view.refresh()  # no-op
+            return view.array(np.float64)[0]
+
+        assert benchmark(touch) == 1.0
+        arena.close()
+
+    def test_bench_sim_view_refresh(self, benchmark):
+        arena, view = self._arena(real=False)
+
+        def touch():
+            view.refresh()  # gathers pages: real copies
+            return view.array(np.float64)[0]
+
+        assert benchmark(touch) == 1.0
+        arena.close()
+
+
+class TestD3GhostExpansion:
+    def test_bench_expansion_tradeoff(self, benchmark, save_result):
+        """Ding & He: exchanging a g-wide ghost zone every g steps trades
+        volume for frequency.  Per-step cost = exchange(g)/g + redundant
+        compute; wider ghosts win once per-message startup dominates."""
+        theta = theta_knl()
+        # Expansion pays off where communication is startup-bound: use a
+        # small subdomain (the strong-scaling regime Ding & He target).
+        n = 32
+
+        def evaluate():
+            rows = []
+            widths = [w for w in (1, 2, 4) if n // 8 >= 2 * w]
+            for bricks_wide in widths:
+                g = 8 * bricks_wide
+                bd = exchange_breakdown(
+                    theta, "memmap", (n, n, n), ghost=g
+                )
+                per_step = bd.comm / bricks_wide
+                # redundant compute: each of the g buffered steps re-computes
+                # a shrinking shell; bound it by the full shell each step.
+                shell = (n + 2 * g) ** 3 - n**3
+                redundant = theta.brick_compute.stencil_time(
+                    shell * (bricks_wide - 1) // (2 * bricks_wide), 8, 16
+                )
+                rows.append(
+                    [g, bd.comm * 1e3, per_step * 1e3, (per_step + redundant) * 1e3]
+                )
+            return rows
+
+        rows = benchmark(evaluate)
+        save_result(
+            "ablation_d3_ghost_expansion",
+            format_table(
+                f"D3  Ghost-cell expansion on {n}^3 (Theta, MemMap)",
+                ["ghost", "exch_ms", "per_step_ms", "per_step+redundant_ms"],
+                rows,
+            ),
+        )
+        # Amortizing over more steps lowers the *per-step exchange* cost
+        # at this startup-bound size; whether it wins overall depends on
+        # the redundant-compute term staying small.
+        assert rows[1][2] < rows[0][2] * 1.05
+        # The trade never explodes: within 2x of the unexpanded cost.
+        assert rows[-1][3] < 2 * rows[0][3]
+
+
+class TestD4BrickSize:
+    def test_bench_brick_size(self, benchmark, save_result):
+        theta = theta_knl()
+        n = 64
+
+        def evaluate():
+            rows = []
+            for bd_elems in (4, 8, 16):
+                g = max(bd_elems, 8)
+                grid = (n // bd_elems,) * 3
+                width = g // bd_elems
+                bb = bd_elems**3 * 8
+                specs = memmap_schedule(grid, width, SURFACE3D, bb, 65536)
+                pay = sum(m.payload_bytes for m in specs)
+                wire = sum(m.wire_bytes for m in specs)
+                comm = exchange_breakdown(
+                    theta, "memmap", (n, n, n),
+                    brick_dim=(bd_elems,) * 3, ghost=g, page_size=65536,
+                ).comm
+                rows.append(
+                    [bd_elems, g, 100 * (wire - pay) / pay, comm * 1e3]
+                )
+            return rows
+
+        rows = benchmark(evaluate)
+        save_result(
+            "ablation_d4_brick_size",
+            format_table(
+                "D4  Brick size on 64^3 (Theta, MemMap, 64 KiB pages)",
+                ["brick", "ghost", "padding_%", "comm_ms"],
+                rows,
+            ),
+        )
+        # Smaller bricks waste more padding on large pages.
+        pads = [r[2] for r in rows]
+        assert pads[0] > pads[-1]

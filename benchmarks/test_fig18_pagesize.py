@@ -1,0 +1,38 @@
+"""FIG18: page-size impact on MemMap communication time (K1 setup).
+
+Paper claims: "Even with very large (64 KiB) pages, MemMap still
+outperforms both YASK and MPI_Types"; the impact of larger page sizes is
+not significant.
+"""
+
+from repro.bench import experiments, format_series
+
+
+def test_fig18_pagesize(benchmark, save_result):
+    data = benchmark(experiments.fig18_pagesize)
+
+    save_result(
+        "fig18_pagesize",
+        format_series(
+            "FIG18  Page-size effect on MemMap comm time (ms), 8 KNL nodes",
+            "N",
+            data["sizes"],
+            data["comm_ms"],
+        ),
+    )
+    c = data["comm_ms"]
+    for i in range(len(data["sizes"])):
+        # Larger pages are never faster...
+        assert c["memmap_4KiB"][i] <= c["memmap_16KiB"][i] <= c["memmap_64KiB"][i]
+        # ...but even 64 KiB pages beat both baselines everywhere.
+        assert c["memmap_64KiB"][i] < c["yask"][i]
+        assert c["memmap_64KiB"][i] < c["mpi_types"][i]
+    # "Not significant": 64 KiB stays within an order of magnitude of the
+    # 4 KiB time even at the smallest (most padded) size -- the paper's
+    # Fig. 18 shows roughly a 2-4x gap at 16^3.
+    worst = max(
+        b / a for a, b in zip(c["memmap_4KiB"], c["memmap_64KiB"])
+    )
+    assert worst < 8.0
+    # and at the largest size the gap is negligible (<20%).
+    assert c["memmap_64KiB"][0] / c["memmap_4KiB"][0] < 1.2

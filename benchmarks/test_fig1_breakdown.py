@@ -1,0 +1,47 @@
+"""FIG1: per-timestep time breakdown, YASK vs proposed (8 KNL nodes).
+
+Paper claim: "For all but the largest subdomain sizes, a majority of the
+time is in Packing ... which our approaches entirely avoid."
+"""
+
+from repro.bench import experiments, format_table
+
+
+def test_fig1_breakdown(benchmark, save_result):
+    data = benchmark(experiments.fig1_breakdown)
+
+    rows = []
+    for i, n in enumerate(data["sizes"]):
+        rows.append(
+            [
+                n,
+                data["yask"]["compute"][i],
+                data["yask"]["mpi"][i],
+                data["yask"]["packing"][i],
+                data["proposed"]["compute"][i],
+                data["proposed"]["mpi"][i],
+            ]
+        )
+    save_result(
+        "fig1_breakdown",
+        format_table(
+            "FIG1  Time breakdown per timestep, % of YASK total (8 KNL nodes)",
+            ["N", "yask:comp", "yask:mpi", "yask:pack", "prop:comp", "prop:mpi"],
+            rows,
+            spec=".1f",
+        ),
+    )
+
+    packing = data["yask"]["packing"]
+    # Packing is the single largest YASK component for all but the largest
+    # size, and the proposed scheme has exactly zero packing.
+    for i, n in enumerate(data["sizes"]):
+        if n < 512:
+            assert packing[i] > data["yask"]["compute"][i]
+            assert packing[i] > data["yask"]["mpi"][i]
+    # The proposed total is far below YASK's at small sizes.
+    prop_total = [
+        c + m
+        for c, m in zip(data["proposed"]["compute"], data["proposed"]["mpi"])
+    ]
+    assert prop_total[-1] < 30  # % of the YASK total at 16^3

@@ -1,0 +1,36 @@
+"""FIG4: communication time -- YASK vs Basic (98 msgs) vs Layout (42).
+
+Paper claim: "Layout is up to 2.3x faster than Basic" and both beat YASK
+for small subdomains.
+"""
+
+from repro.bench import experiments, format_series
+
+
+def test_fig4_layout_vs_basic(benchmark, save_result):
+    data = benchmark(experiments.fig4_layout_vs_basic)
+
+    save_result(
+        "fig4_layout_vs_basic",
+        format_series(
+            "FIG4  Communication time per timestep (ms), 8 KNL nodes",
+            "N",
+            data["sizes"],
+            data["comm_ms"],
+        ),
+    )
+
+    assert data["messages"]["basic"] == 98
+    assert data["messages"]["layout"] == 42
+
+    yask = data["comm_ms"]["yask"]
+    basic = data["comm_ms"]["basic"]
+    layout = data["comm_ms"]["layout"]
+    # Layout <= Basic everywhere; gap widens as boxes shrink.
+    ratios = [b / l for b, l in zip(basic, layout)]
+    assert all(r >= 1.0 for r in ratios)
+    assert ratios[-1] > ratios[0]
+    assert 1.3 < max(ratios) < 4.0  # paper: up to 2.3x
+    # Both pack-free schemes beat the packing baseline at small sizes.
+    assert layout[-1] < yask[-1]
+    assert basic[-1] < yask[-1]

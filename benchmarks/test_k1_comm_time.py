@@ -1,0 +1,48 @@
+"""FIG9 (K1): communication time per timestep on 8 KNL nodes.
+
+Paper claims: Layout and MemMap almost achieve the minimum Network time;
+MemMap is up to 14.4x faster than YASK and 460x faster than MPI_Types;
+communication flattens (startup-bound) below 64^3.
+"""
+
+from repro.bench import experiments, format_series
+
+
+def test_k1_comm_time(benchmark, save_result):
+    data = benchmark(experiments.k1_comm_time)
+
+    series = dict(data["comm_ms"])
+    series["comp(memmap)"] = data["comp_ms"]
+    save_result(
+        "fig9_k1_comm_time",
+        format_series(
+            "FIG9  (K1) Communication time per timestep (ms), 8 KNL nodes",
+            "N",
+            data["sizes"],
+            series,
+        ),
+    )
+
+    c = data["comm_ms"]
+    sizes = data["sizes"]
+    for i in range(len(sizes)):
+        # Network <= MemMap <= Layout < YASK < MPI_Types at every size.
+        assert c["network"][i] <= c["memmap"][i] * 1.001
+        assert c["memmap"][i] <= c["layout"][i] * 1.05
+        assert c["layout"][i] < c["yask"][i]
+        assert c["yask"][i] < c["mpi_types"][i]
+        # MemMap is within 25% of the empirical Network floor.
+        assert c["memmap"][i] <= 1.25 * c["network"][i]
+
+    # Headline speedups at the smallest subdomain (paper: 14.4x / 460x).
+    yask_speedup = c["yask"][-1] / c["memmap"][-1]
+    types_speedup = c["mpi_types"][-1] / c["memmap"][-1]
+    assert 4 < yask_speedup < 40
+    assert 100 < types_speedup < 2000
+
+    # Startup-time flattening: shrinking 32^3 -> 16^3 (4x less surface)
+    # shrinks comm far less than 4x.
+    assert c["memmap"][-2] / c["memmap"][-1] < 2.5
+
+    # Comm exceeds compute for small subdomains (motivation, Fig. 1).
+    assert c["memmap"][-1] > data["comp_ms"][-1]

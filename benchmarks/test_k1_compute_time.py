@@ -1,0 +1,71 @@
+"""FIG10 (K1): compute time -- brick layouts are indistinguishable.
+
+Paper claims: "no discernible difference in compute time for different
+orderings of fine-grained data blocks"; YASK's two-level schedule wins
+slightly on large boxes and loses on small ones.
+"""
+
+import numpy as np
+
+from repro.bench import experiments, format_series
+from repro.brick.convert import extended_shape, extended_to_bricks
+from repro.brick.decomp import BrickDecomp
+from repro.layout.order import grouped_order, lexicographic_order
+from repro.stencil.brick_kernels import apply_brick_stencil
+from repro.stencil.spec import SEVEN_POINT
+
+
+def test_k1_compute_time_model(benchmark, save_result):
+    data = benchmark(experiments.k1_compute_time)
+    save_result(
+        "fig10_k1_compute_time",
+        format_series(
+            "FIG10  (K1) Compute time per timestep (ms), 8 KNL nodes",
+            "N",
+            data["sizes"],
+            data["comp_ms"],
+        ),
+    )
+    c = data["comp_ms"]
+    # All brick orderings identical (modelled compute ignores order).
+    assert c["layout"] == c["memmap"] == c["no_layout"]
+    # YASK slightly faster on 512^3, slower on 16^3.
+    assert c["yask"][0] < c["layout"][0]
+    assert c["yask"][-1] > c["layout"][-1]
+
+
+def test_k1_compute_time_measured(benchmark):
+    """Measured counterpart: real brick-kernel wall time is layout-
+    independent (within noise) -- the executable version of Fig. 10."""
+    ext_data = np.random.default_rng(0).random(extended_shape(
+        BrickDecomp((32, 32, 32), (8, 8, 8), 8)
+    ))
+
+    def run(layout):
+        d = BrickDecomp((32, 32, 32), (8, 8, 8), 8, layout=layout)
+        src, asn = d.allocate()
+        dst, _ = d.allocate()
+        extended_to_bricks(ext_data, d, src, asn)
+        info = d.brick_info(asn)
+        slots = d.compute_slots(asn)
+        apply_brick_stencil(SEVEN_POINT, src, dst, info, slots)
+        return dst.data.sum()
+
+    import time
+
+    checks = {}
+    times = {}
+    for name, layout in (
+        ("optimal", None),
+        ("lexicographic", lexicographic_order(3)),
+        ("grouped", grouped_order(3)),
+    ):
+        t0 = time.perf_counter()
+        checks[name] = run(layout)
+        times[name] = time.perf_counter() - t0
+    benchmark(run, None)
+    # identical numerics across layouts
+    vals = list(checks.values())
+    assert all(abs(v - vals[0]) < 1e-9 * abs(vals[0]) for v in vals)
+    # and comparable wall time (generous 3x band; this is Python)
+    assert max(times.values()) < 3 * min(times.values()) + 0.05

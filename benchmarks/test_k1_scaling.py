@@ -1,0 +1,41 @@
+"""FIG8 (K1): 7-point stencil throughput on 8 KNL nodes vs subdomain size.
+
+Paper claims: Layout is competitive with MemMap and both attain the best
+performance; overlapping (YASK-OL) makes little difference for small
+subdomains; MPI_Types is far behind everything.
+"""
+
+from repro.bench import experiments, format_series
+
+
+def test_k1_scaling(benchmark, save_result):
+    data = benchmark(experiments.k1_scaling)
+
+    save_result(
+        "fig8_k1_scaling",
+        format_series(
+            "FIG8  (K1) 7-pt throughput, GStencil/s on 8 KNL nodes",
+            "N",
+            data["sizes"],
+            data["gstencils"],
+        ),
+    )
+    g = data["gstencils"]
+    for i, n in enumerate(data["sizes"]):
+        # MemMap and Layout lead at every size...
+        assert g["memmap"][i] >= g["yask"][i]
+        # "Layout is competitive with MemMap" -- within ~30% everywhere
+        # (the 16 extra messages cost a little at startup-bound sizes).
+        assert g["layout"][i] >= 0.7 * g["memmap"][i]
+        # ...and MPI_Types trails everything.
+        assert g["mpi_types"][i] < g["yask"][i]
+    # Overlap helps YASK at large boxes but makes little difference at 16^3
+    # where packing (unoverlappable) dominates.
+    big_gain = g["yask_ol"][0] / g["yask"][0]
+    small_gain = g["yask_ol"][-1] / g["yask"][-1]
+    assert small_gain < 1.25
+    assert big_gain >= small_gain * 0.95
+    # Throughput decreases with subdomain size for every method (fewer
+    # points per node while per-message floors stay).
+    for m, series in g.items():
+        assert series[0] > series[-1], m

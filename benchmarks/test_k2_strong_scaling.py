@@ -1,0 +1,58 @@
+"""FIG11 + FIG12 (K2): strong scaling of 1024^3 on 8..1024 KNL nodes.
+
+Paper claims: MemMap reaches 2166 GStencil/s (7-pt) and 934 (125-pt) at
+1024 nodes -- 9.3x and 13.4x over YASK; computation scales with volume,
+communication with surface; communication dominates at large node counts.
+"""
+
+from repro.bench import experiments, format_series
+
+
+def test_k2_strong_scaling(benchmark, save_result):
+    data = benchmark(experiments.k2_strong_scaling)
+
+    save_result(
+        "fig11_k2_throughput",
+        format_series(
+            "FIG11  (K2) Strong scaling, 1024^3 domain, GStencil/s",
+            "nodes",
+            data["nodes"],
+            data["gstencils"],
+        ),
+    )
+    save_result(
+        "fig12_k2_decomposition",
+        format_series(
+            "FIG12  (K2) 7-pt per-timestep comm vs comp (ms)",
+            "nodes",
+            data["nodes"],
+            {
+                "yask:comm": data["comm_ms"]["yask:7pt"],
+                "yask:comp": data["comp_ms"]["yask:7pt"],
+                "memmap:comm": data["comm_ms"]["memmap:7pt"],
+                "memmap:comp": data["comp_ms"]["memmap:7pt"],
+            },
+        ),
+    )
+
+    g = data["gstencils"]
+    # Monotone scaling for MemMap over the whole range.
+    assert g["memmap:7pt"] == sorted(g["memmap:7pt"])
+    # Headline speedups at 1024 nodes (paper: 9.3x and 13.4x).
+    for key, lo, hi in (("7pt", 3, 40), ("125pt", 3, 40)):
+        ratio = g[f"memmap:{key}"][-1] / g[f"yask:{key}"][-1]
+        assert lo < ratio < hi, (key, ratio)
+    # The speedup grows with node count (communication share grows).
+    r8 = g["memmap:7pt"][0] / g["yask:7pt"][0]
+    r1024 = g["memmap:7pt"][-1] / g["yask:7pt"][-1]
+    assert r1024 > r8
+
+    # FIG12 shape: compute scales ~8x per 8x nodes; comm scales ~4x
+    # (surface); comm/comp ratio rises monotonically.
+    comp = data["comp_ms"]["memmap:7pt"]
+    comm = data["comm_ms"]["memmap:7pt"]
+    assert 6 < comp[0] / comp[3] < 10  # 8 -> 64 nodes: volume ratio 8
+    assert comm[0] / comm[3] < comp[0] / comp[3]  # comm shrinks slower
+    ratios = [cm / cp for cm, cp in zip(comm, comp)]
+    assert ratios == sorted(ratios)
+    assert ratios[-1] > 1.0  # comm dominates at 1024 nodes

@@ -1,0 +1,34 @@
+"""Measured speedup of generated (specialized) kernels vs generic loops."""
+
+import numpy as np
+import pytest
+
+from repro.stencil.codegen import generate_array_kernel
+from repro.stencil.kernels import apply_array_stencil
+from repro.stencil.spec import CUBE125, SEVEN_POINT
+
+EXTENT, G = (64, 64, 64), 8
+
+
+@pytest.fixture(scope="module")
+def arrays():
+    shape = tuple(e + 2 * G for e in reversed(EXTENT))
+    rng = np.random.default_rng(0)
+    return rng.random(shape), np.zeros(shape)
+
+
+@pytest.mark.parametrize("spec", [SEVEN_POINT, CUBE125], ids=["7pt", "125pt"])
+def test_bench_generic_kernel(benchmark, arrays, spec):
+    src, dst = arrays
+    benchmark(apply_array_stencil, src, dst, spec, EXTENT, G)
+
+
+@pytest.mark.parametrize("spec", [SEVEN_POINT, CUBE125], ids=["7pt", "125pt"])
+def test_bench_generated_kernel(benchmark, arrays, spec):
+    src, dst = arrays
+    kernel = generate_array_kernel(spec, EXTENT, G)
+    benchmark(kernel, src, dst)
+    # sanity: identical numerics
+    ref = np.zeros_like(dst)
+    apply_array_stencil(src, ref, spec, EXTENT, G)
+    np.testing.assert_array_equal(dst, ref)

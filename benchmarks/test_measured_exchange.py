@@ -1,0 +1,38 @@
+"""Measured wall-clock of full executed 8-rank exchanges.
+
+Real data movement over the in-process fabric.  Wall times here include
+Python/thread overheads and do not resemble Cray timings -- the point is
+the *relative* on-node work: the pack-free schemes move strictly fewer
+bytes on-node per exchange.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.driver import run_executed
+from repro.core.problem import StencilProblem
+from repro.hardware.profiles import theta_knl
+from repro.stencil.spec import SEVEN_POINT
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return StencilProblem(
+        global_extent=(64, 64, 64),
+        rank_dims=(2, 2, 2),
+        stencil=SEVEN_POINT,
+        brick_dim=(8, 8, 8),
+        ghost=8,
+    )
+
+
+@pytest.mark.parametrize("method", ["yask", "mpi_types", "layout", "memmap"])
+def test_bench_executed_timestep(benchmark, problem, method):
+    profile = theta_knl()
+
+    def run():
+        out = run_executed(problem, method, profile, timesteps=1)
+        return out.wire_bytes_per_rank
+
+    wire = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert wire > 0

@@ -1,0 +1,45 @@
+"""TAB1: message counts vs dimension -- must match the paper EXACTLY.
+
+This is the one artifact with no hardware dependence: Eqs. 1-3 plus the
+constructive layouts must reproduce Table 1 digit for digit, and the
+packaged optimal orders must attain the Eq. 1 bound.
+"""
+
+from repro.bench import experiments, format_table
+from repro.layout.messages import messages_for_order
+from repro.layout.order import SURFACE1D, SURFACE2D, SURFACE3D
+
+PAPER_TABLE1 = {
+    "Dimensions": [1, 2, 3, 4, 5],
+    "Number of neighbors (Eq. 2)": [2, 8, 26, 80, 242],
+    "Layout (Eq. 1)": [2, 9, 42, 209, 1042],
+    "Basic (Eq. 3)": [2, 16, 98, 544, 2882],
+}
+
+
+def test_table1_messages(benchmark, save_result):
+    data = benchmark(experiments.table1_messages)
+
+    rows = list(
+        zip(
+            data["Dimensions"],
+            data["Number of neighbors (Eq. 2)"],
+            data["Layout (Eq. 1)"],
+            data["Basic (Eq. 3)"],
+        )
+    )
+    save_result(
+        "table1_messages",
+        format_table(
+            "TAB1  Messages per exchange vs dimensionality",
+            ["D", "Neighbors (Eq.2)", "Layout (Eq.1)", "Basic (Eq.3)"],
+            rows,
+        ),
+    )
+
+    assert data == PAPER_TABLE1
+
+    # The packaged constructive layouts attain the Eq. 1 bound.
+    assert messages_for_order(SURFACE1D, 1) == 2
+    assert messages_for_order(SURFACE2D, 2) == 9
+    assert messages_for_order(SURFACE3D, 3) == 42

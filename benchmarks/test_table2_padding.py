@@ -1,0 +1,54 @@
+"""TAB2 (V1): padding-induced network transfer and achieved bandwidth.
+
+Paper values (for reference; our padding accounting is structural, the
+bandwidths are modelled):
+
+    padding %   (MemMap): 2.4  9.3  35.0  176.9  652.0  883.9
+    bw Layout_CA (GB/s):  16.0 21.0 18.6  15.2   9.1    4.7
+    bw Layout_UM (GB/s):  17.7 16.4 12.0  11.0   4.4    3.2
+    bw MemMap_UM (GB/s):  17.1 17.6 15.4  16.9   17.3   17.7
+"""
+
+from repro.bench import experiments, format_table
+
+
+def test_table2_padding(benchmark, save_result):
+    data = benchmark(experiments.table2_padding)
+
+    rows = []
+    for i, n in enumerate(data["sizes"]):
+        rows.append(
+            [
+                n,
+                data["padding_pct"]["layout"][i],
+                data["padding_pct"]["memmap"][i],
+                data["bandwidth_gbs"]["layout_ca"][i],
+                data["bandwidth_gbs"]["layout_um"][i],
+                data["bandwidth_gbs"]["memmap_um"][i],
+            ]
+        )
+    save_result(
+        "table2_padding",
+        format_table(
+            "TAB2  (V1) Padding overhead (%) and achieved bandwidth (GB/s)",
+            ["N", "pad% layout", "pad% memmap", "bw CA", "bw L_UM", "bw MM_UM"],
+            rows,
+            spec=".1f",
+        ),
+    )
+
+    pad = data["padding_pct"]["memmap"]
+    # Layout never pads.
+    assert all(p == 0.0 for p in data["padding_pct"]["layout"])
+    # MemMap padding grows monotonically and dramatically as boxes shrink
+    # (paper: 2.4% -> 883.9%).
+    assert pad == sorted(pad)
+    assert pad[0] < 10
+    assert pad[-1] > 400
+
+    bw = data["bandwidth_gbs"]
+    # MemMap_UM's achieved bandwidth is near-flat (padding keeps messages
+    # page-sized); Layout bandwidths collapse for small subdomains.
+    assert bw["memmap_um"][-1] > 0.5 * bw["memmap_um"][0]
+    assert bw["layout_ca"][-1] < 0.3 * bw["layout_ca"][0]
+    assert bw["layout_um"][-1] < 0.3 * bw["layout_um"][0]

@@ -1,0 +1,37 @@
+"""TAB3: qualitative cost comparison, derived from measured quantities."""
+
+from repro.bench import experiments, format_table
+
+
+def test_table3_costs(benchmark, save_result):
+    data = benchmark(experiments.table3_costs)
+
+    rows = [
+        [name, data["Array"][i], data["Layout"][i], data["MemMap"][i]]
+        for i, name in enumerate(data["rows"])
+    ]
+    notes = "\n".join(f"{k} {v}" for k, v in data["notes"].items())
+    save_result(
+        "table3_costs",
+        format_table(
+            "TAB3  Cost comparison: array practice vs Layout vs MemMap",
+            ["Cost Type", "Array", "Layout", "MemMap"],
+            rows,
+        )
+        + notes
+        + "\n",
+    )
+
+    cols = {r: i for i, r in enumerate(data["rows"])}
+    # Strided packing: only the array baseline pays it.
+    assert data["Array"][cols["Strided Packing"]] == "High"
+    assert data["Layout"][cols["Strided Packing"]] == "-"
+    assert data["MemMap"][cols["Strided Packing"]] == "-"
+    # Extra messages: Layout's trade; MemMap avoids them.
+    assert data["Layout"][cols["Extra Msgs"]] == "Low*"
+    assert data["MemMap"][cols["Extra Msgs"]] == "-"
+    # Manual CPU-GPU movement eliminated by both schemes.
+    assert data["Array"][cols["Manual CPU-GPU"]] == "High"
+    assert data["Layout"][cols["Manual CPU-GPU"]] == "-"
+    # Large-page padding: MemMap's trade.
+    assert data["MemMap"][cols["Large Page"]] == "Low**"

@@ -1,0 +1,34 @@
+"""FIG14 (V1): communication time on Summit.
+
+Paper claims: Layout_CA achieves the best communication performance,
+close to the Network_CA floor; MPI_Types_UM is roughly an order of
+magnitude slower than the pack-free schemes.
+"""
+
+from repro.bench import experiments, format_series
+
+
+def test_v1_comm_time(benchmark, save_result):
+    data = benchmark(experiments.v1_comm_time)
+
+    series = dict(data["comm_ms"])
+    series["comp(memmap_um)"] = data["comp_ms"]
+    save_result(
+        "fig14_v1_comm_time",
+        format_series(
+            "FIG14  (V1) Communication time per timestep (ms), 8 V100s",
+            "N",
+            data["sizes"],
+            series,
+        ),
+    )
+    c = data["comm_ms"]
+    for i in range(len(data["sizes"])):
+        # CA tracks the network floor closely...
+        assert c["layout_ca"][i] <= 1.6 * c["network_ca"][i]
+        # ...and beats both UM variants.
+        assert c["layout_ca"][i] <= c["layout_um"][i]
+        assert c["layout_ca"][i] <= c["memmap_um"][i]
+        # MPI_Types_UM is the clear loser.
+        for m in ("layout_ca", "layout_um", "memmap_um"):
+            assert c["mpi_types_um"][i] > 3 * c[m][i]

@@ -1,0 +1,28 @@
+"""FIG15 (V1): compute time -- page alignment matters under UM.
+
+Paper claims: Layout_CA and MemMap_UM achieve the best computation
+performance; Layout_UM and MPI_Types_UM are worse "because the
+communicated regions are not aligned to page boundaries".
+"""
+
+from repro.bench import experiments, format_series
+
+
+def test_v1_compute_time(benchmark, save_result):
+    data = benchmark(experiments.v1_compute_time)
+
+    save_result(
+        "fig15_v1_compute_time",
+        format_series(
+            "FIG15  (V1) Compute time per timestep (ms), 8 V100s",
+            "N",
+            data["sizes"],
+            data["comp_ms"],
+        ),
+    )
+    c = data["comp_ms"]
+    for i in range(len(data["sizes"])):
+        # CA has no UM faults at all: fastest.
+        assert c["layout_ca"][i] <= c["memmap_um"][i]
+        # Page-aligned MemMap_UM beats unaligned Layout_UM.
+        assert c["memmap_um"][i] < c["layout_um"][i]

@@ -1,0 +1,29 @@
+"""FIG13 (V1): 7-point throughput on 8 Summit nodes (1 V100 per rank).
+
+Paper claims: Layout and MemMap achieve much better performance than
+MPI_Types; Layout_CA is the best overall.
+"""
+
+from repro.bench import experiments, format_series
+
+
+def test_v1_scaling(benchmark, save_result):
+    data = benchmark(experiments.v1_scaling)
+
+    save_result(
+        "fig13_v1_scaling",
+        format_series(
+            "FIG13  (V1) 7-pt throughput, GStencil/s on 8 V100s",
+            "N",
+            data["sizes"],
+            data["gstencils"],
+        ),
+    )
+    g = data["gstencils"]
+    for i in range(len(data["sizes"])):
+        assert g["layout_ca"][i] >= g["layout_um"][i]
+        assert g["layout_ca"][i] >= g["memmap_um"][i]
+        for m in ("layout_ca", "layout_um", "memmap_um"):
+            assert g[m][i] > g["mpi_types_um"][i]
+    # GPU throughput at 512^3 far exceeds the KNL figure (HBM vs MCDRAM).
+    assert g["layout_ca"][0] > 100

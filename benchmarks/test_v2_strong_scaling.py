@@ -1,0 +1,59 @@
+"""FIG16 + FIG17 (V2): strong scaling of 2048^3 on 8..1024 Summit nodes.
+
+Paper claims: Layout_CA and MemMap_UM reach 5.8x and 4.1x over
+MPI_Types_UM at 1024 nodes; 18.3 TStencil/s (7-pt) on a quarter of
+Summit; communication dominates at all scales.
+"""
+
+from repro.bench import experiments, format_series
+
+
+def test_v2_strong_scaling(benchmark, save_result):
+    data = benchmark(experiments.v2_strong_scaling)
+
+    save_result(
+        "fig16_v2_throughput",
+        format_series(
+            "FIG16  (V2) Strong scaling, 2048^3, 6 ranks/node, GStencil/s",
+            "nodes",
+            data["nodes"],
+            data["gstencils"],
+        ),
+    )
+    save_result(
+        "fig17_v2_decomposition",
+        format_series(
+            "FIG17  (V2) 7-pt per-timestep comm vs comp (ms)",
+            "nodes",
+            data["nodes"],
+            {
+                "types:comm": data["comm_ms"]["mpi_types_um:7pt"],
+                "types:comp": data["comp_ms"]["mpi_types_um:7pt"],
+                "memmap:comm": data["comm_ms"]["memmap_um:7pt"],
+                "memmap:comp": data["comp_ms"]["memmap_um:7pt"],
+                "layout_ca:comm": data["comm_ms"]["layout_ca:7pt"],
+                "layout_ca:comp": data["comp_ms"]["layout_ca:7pt"],
+            },
+        ),
+    )
+
+    g = data["gstencils"]
+    # Speedups over MPI_Types_UM at 1024 nodes (paper: 5.8x and 4.1x).
+    ca = g["layout_ca:7pt"][-1] / g["mpi_types_um:7pt"][-1]
+    mm = g["memmap_um:7pt"][-1] / g["mpi_types_um:7pt"][-1]
+    assert 2 < ca < 30
+    assert 1.5 < mm < 20
+    assert ca > mm  # CA leads MemMap_UM, as in Fig. 16
+    # Layout_CA keeps scaling to 1024 nodes ("not yet at the strong
+    # scaling limit").
+    assert g["layout_ca:7pt"] == sorted(g["layout_ca:7pt"])
+
+    # FIG17: communication dominates at every scale for MPI_Types_UM and
+    # at large scale for everyone.
+    comm_t = data["comm_ms"]["mpi_types_um:7pt"]
+    comp_t = data["comp_ms"]["mpi_types_um:7pt"]
+    assert all(cm > cp for cm, cp in zip(comm_t, comp_t))
+    assert (
+        data["comm_ms"]["layout_ca:7pt"][-1]
+        > data["comp_ms"]["layout_ca:7pt"][-1]
+    )

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Halo-free intra-node domains: ghost zones that ARE the neighbor.
+
+The paper's Section 4 observes that memory mapping can optimize data
+movement "between subdomains on the same rank".  This example runs a
+complete periodic simulation across 8 co-resident subdomains whose ghost
+zones are mmap *aliases* of their neighbors' surface bricks:
+
+* no exchange calls, no messages, no packing -- ghost data is simply
+  always current;
+* ghost zones occupy zero physical memory;
+* results are still bit-exact vs the serial reference.
+
+    python examples/halo_free_intranode.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.exchange.local import LocalDomainGrid
+from repro.stencil.brick_kernels import apply_brick_stencil
+from repro.stencil.reference import apply_periodic_reference
+from repro.stencil.spec import SEVEN_POINT
+
+DOMAINS = (2, 2, 2)
+SUB = (32, 32, 32)
+STEPS = 4
+
+
+def main() -> None:
+    grids = [
+        LocalDomainGrid(DOMAINS, SUB, (8, 8, 8), 8),
+        LocalDomainGrid(DOMAINS, SUB, (8, 8, 8), 8),
+    ]
+    a = grids[0]
+    virtual = a.assignment.total_slots * a.decomp.brick_bytes * a.ndomains
+    print(f"{a.ndomains} subdomains of {SUB}, zero-copy aliasing: {a.zero_copy}")
+    print(f"physical storage : {a.arena.nbytes / 2**20:.2f} MiB")
+    print(f"virtual  storage : {virtual / 2**20:.2f} MiB "
+          f"({virtual - a.arena.nbytes:,} bytes of ghosts are pure aliases)")
+
+    rng = np.random.default_rng(2024)
+    global_arr = rng.random(
+        tuple(s * d for s, d in zip(reversed(SUB), reversed(DOMAINS)))
+    )
+    a.load_global(global_arr)
+
+    t0 = time.perf_counter()
+    src, dst = 0, 1
+    for _ in range(STEPS):
+        for idx in range(a.ndomains):
+            apply_brick_stencil(
+                SEVEN_POINT,
+                grids[src].storages[idx],
+                grids[dst].storages[idx],
+                a.info,
+                a.compute_slots,
+            )
+        # On the real memfd arena these two calls are no-ops: neighbors
+        # already see the new surfaces through their ghost aliases.
+        grids[dst].flush_owned()
+        grids[dst].sync()
+        src, dst = dst, src
+    elapsed = time.perf_counter() - t0
+
+    got = grids[src].extract_global()
+    ref = apply_periodic_reference(global_arr, SEVEN_POINT, STEPS)
+    exact = np.array_equal(got, ref)
+    print(f"\n{STEPS} timesteps in {elapsed:.3f}s wall "
+          f"-- exchange calls issued: 0, messages sent: 0")
+    print(f"bit-exact vs serial reference: {exact}")
+    assert exact
+    for g in grids:
+        g.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Distributed iterative solver: halo exchange + collectives together.
+
+The paper's introduction motivates pack-free exchange with iterative
+solvers (Krylov methods) where communication per iteration is small and
+frequent -- exactly the strong-scaling regime where packing hurts.  This
+example runs damped-Jacobi relaxation of a periodic Poisson problem
+``L u = f`` across 8 simulated ranks:
+
+* the 7-point Laplacian ghost exchange uses MemMap (pack-free, one
+  message per neighbor);
+* the global residual norm each iteration is an ``allreduce`` over the
+  simulated fabric (deterministic tree reduction);
+* the final field is validated bit-for-bit against the identical serial
+  iteration.
+
+    python examples/jacobi_solver.py
+"""
+
+import numpy as np
+
+from repro.brick.convert import bricks_to_extended, extended_to_bricks
+from repro.brick.decomp import BrickDecomp
+from repro.exchange.memmap_ex import MemMapExchanger
+from repro.hardware.profiles import theta_knl
+from repro.simmpi import allreduce, run_spmd
+from repro.stencil.brick_kernels import apply_brick_stencil
+from repro.stencil.kernels import owned_slices
+from repro.stencil.spec import star_stencil
+
+GLOBAL = (32, 32, 32)
+RANKS = (2, 2, 2)
+SUB = tuple(g // r for g, r in zip(GLOBAL, RANKS))
+GHOST = 8
+OMEGA = 0.9
+ITERS = 30
+
+#: Jacobi update as a stencil: u' = (1-w) u + (w/6) * sum(neighbors) + w*h^2/6 f
+#: We fold the f term in separately; the stencil handles the u part.
+JACOBI = star_stencil(
+    3, 1,
+    coefficients=[1.0 - OMEGA] + [OMEGA / 6.0] * 6,
+    name="jacobi7",
+)
+
+
+def serial_jacobi(u0, f):
+    """The identical iteration on the unpartitioned periodic domain."""
+    u = u0.copy()
+    norms = []
+    for _ in range(ITERS):
+        acc = None
+        for off, c in JACOBI.taps:
+            term = c * np.roll(u, tuple(-o for o in reversed(off)),
+                               axis=(0, 1, 2))
+            acc = term if acc is None else acc + term
+        new = acc + OMEGA / 6.0 * f
+        norms.append(float(np.sqrt(np.sum((new - u) ** 2))))
+        u = new
+    return u, norms
+
+
+def rank_main(comm, u0_global, f_global):
+    cart = comm.Create_cart(RANKS)
+    profile = theta_knl()
+    decomp = BrickDecomp(SUB, (8, 8, 8), GHOST)
+    storages = []
+    asn = None
+    for _ in range(2):
+        st, asn = decomp.mmap_alloc(profile.page_size)
+        storages.append(st)
+    info = decomp.brick_info(asn)
+    slots = decomp.compute_slots(asn)
+    exchangers = [
+        MemMapExchanger(cart, decomp, st, asn, profile) for st in storages
+    ]
+
+    lo = [c * s for c, s in zip(cart.coords, SUB)]
+    own_g = tuple(slice(l, l + s) for l, s in zip(reversed(lo), reversed(SUB)))
+    ext_shape = tuple(s + 2 * GHOST for s in reversed(SUB))
+    own = owned_slices(SUB, GHOST)
+
+    ext = np.zeros(ext_shape)
+    ext[own] = u0_global[own_g]
+    extended_to_bricks(ext, decomp, storages[0], asn)
+    f_local = f_global[own_g]
+
+    src, dst = 0, 1
+    norms = []
+    for _ in range(ITERS):
+        exchangers[src].exchange()
+        apply_brick_stencil(JACOBI, storages[src], storages[dst], info, slots)
+        u_old = bricks_to_extended(decomp, storages[src], asn)[own]
+        u_new = bricks_to_extended(decomp, storages[dst], asn)[own] + (
+            OMEGA / 6.0
+        ) * f_local
+        ext = np.zeros(ext_shape)
+        ext[own] = u_new
+        extended_to_bricks(ext, decomp, storages[dst], asn)
+        local_sq = np.array([np.sum((u_new - u_old) ** 2)])
+        norms.append(float(np.sqrt(allreduce(comm, local_sq)[0])))
+        src, dst = dst, src
+
+    result = bricks_to_extended(decomp, storages[src], asn)[own].copy()
+    for ex in exchangers:
+        ex.close()
+    for st in storages:
+        st.close()
+    return cart.coords, result, norms
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    shape = tuple(reversed(GLOBAL))
+    u0 = rng.random(shape)
+    f = rng.random(shape)
+    f -= f.mean()  # periodic Poisson compatibility
+
+    results = run_spmd(int(np.prod(RANKS)), rank_main, u0, f)
+
+    u = np.empty(shape)
+    for coords, block, norms in results:
+        lo = [c * s for c, s in zip(coords, SUB)]
+        slc = tuple(slice(l, l + s) for l, s in zip(reversed(lo), reversed(SUB)))
+        u[slc] = block
+
+    u_ref, ref_norms = serial_jacobi(u0, f)
+    print(f"{ITERS} Jacobi iterations on {GLOBAL} over {len(results)} ranks")
+    print(f"residual: {norms[0]:.4e} -> {norms[-1]:.4e} (monotone: "
+          f"{all(a >= b for a, b in zip(norms, norms[1:]))})")
+    print(f"field bit-exact vs serial: {np.array_equal(u, u_ref)}")
+    drift = max(abs(a - b) for a, b in zip(norms, ref_norms))
+    print(f"max residual-norm drift vs serial: {drift:.2e}")
+    assert np.array_equal(u, u_ref)
+    assert drift < 1e-9
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Strong-scaling advisor: which exchange scheme, and how many nodes?
+
+The downstream-user tool the paper motivates: you have a fixed global
+domain and want minimum time-to-solution.  As you add nodes, subdomains
+shrink, the surface-to-volume ratio worsens, and the exchange scheme
+starts to dominate -- this script sweeps node counts on a chosen machine
+and reports, per node count, each scheme's modelled timestep time, the
+parallel efficiency, and the best scheme.
+
+    python examples/strong_scaling_advisor.py --domain 1024 --machine theta
+    python examples/strong_scaling_advisor.py --domain 2048 --machine summit \
+        --stencil 125pt --max-nodes 4096
+
+Thin wrapper around :mod:`repro.bench.advisor`.
+"""
+
+import argparse
+import sys
+
+from repro.bench.advisor import MACHINES, STENCILS, advise, render_advice
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--domain", type=int, default=1024)
+    parser.add_argument("--machine", choices=sorted(MACHINES), default="theta")
+    parser.add_argument("--stencil", choices=sorted(STENCILS), default="7pt")
+    parser.add_argument("--max-nodes", type=int, default=1024)
+    args = parser.parse_args(argv)
+
+    rows = advise(args.domain, args.machine, args.stencil, args.max_nodes)
+    print(render_advice(rows, args.domain, args.machine, args.stencil))
+
+    good = [r for r in rows if r.efficiency >= 0.5]
+    if good:
+        r = good[-1]
+        sub = "x".join(map(str, r.subdomain))
+        print(
+            f"Recommendation: up to {r.nodes} nodes ({sub} subdomains) with"
+            f" '{r.best}', parallel efficiency {100 * r.efficiency:.0f}%."
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""repro: pack-free ghost-zone exchange via data layout and memory mapping.
+
+A Python reproduction of Zhao, Hall, Johansen & Williams, *Improving
+Communication by Optimizing On-Node Data Movement with Data Layout*
+(PPoPP 2021): the brick library's fine-grained data blocking, layout
+optimization for communication, memfd/mmap-based zero-copy exchange views,
+simulated-GPU transports, and the full benchmark harness regenerating
+every table and figure of the paper's evaluation.  See DESIGN.md for the
+system inventory and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from repro.core import (
+    StencilProblem,
+    model_timestep,
+    run_executed,
+)
+from repro.hardware import generic_host, summit_v100, theta_knl
+from repro.layout import SURFACE2D, SURFACE3D
+from repro.stencil import CUBE125, SEVEN_POINT
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CUBE125",
+    "SEVEN_POINT",
+    "SURFACE2D",
+    "SURFACE3D",
+    "StencilProblem",
+    "__version__",
+    "generic_host",
+    "model_timestep",
+    "run_executed",
+    "summit_v100",
+    "theta_knl",
+]

@@ -1,0 +1,112 @@
+"""Strong-scaling advisor: sweep node counts, pick the best scheme.
+
+Library core behind ``examples/strong_scaling_advisor.py`` and the
+``repro advise`` CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.bench.harness import dims_create, format_table
+from repro.core.model import model_timestep
+from repro.hardware.profiles import MachineProfile, summit_v100, theta_knl
+from repro.stencil.spec import CUBE125, SEVEN_POINT, StencilSpec
+
+__all__ = ["AdviceRow", "MACHINES", "STENCILS", "advise", "render_advice"]
+
+#: machine name -> (profile factory, candidate methods, ranks per node)
+MACHINES = {
+    "theta": (theta_knl, ("yask", "mpi_types", "layout", "memmap"), 1),
+    "summit": (
+        summit_v100,
+        ("mpi_types_um", "layout_um", "memmap_um", "layout_ca"),
+        6,
+    ),
+}
+
+STENCILS = {"7pt": SEVEN_POINT, "125pt": CUBE125}
+
+
+@dataclass(frozen=True)
+class AdviceRow:
+    """One node count of the sweep."""
+
+    nodes: int
+    subdomain: Tuple[int, int, int]
+    timestep_s: Dict[str, float]  # per method
+    best: str
+    efficiency: float  # parallel efficiency vs the 8-node best
+
+
+def advise(
+    domain: int,
+    machine: str = "theta",
+    stencil: str = "7pt",
+    max_nodes: int = 1024,
+    min_subdomain: int = 16,
+) -> List[AdviceRow]:
+    """Sweep 8..max_nodes (powers of two) and score each method."""
+    if machine not in MACHINES:
+        raise ValueError(f"unknown machine {machine!r}: {sorted(MACHINES)}")
+    if stencil not in STENCILS:
+        raise ValueError(f"unknown stencil {stencil!r}: {sorted(STENCILS)}")
+    make_profile, methods, ranks_per_node = MACHINES[machine]
+    profile = make_profile()
+    spec = STENCILS[stencil]
+
+    rows: List[AdviceRow] = []
+    base = None
+    nodes = 8
+    while nodes <= max_nodes:
+        dims = dims_create(nodes * ranks_per_node, 3)
+        if any(domain % d for d in dims):
+            break
+        sub = tuple(domain // d for d in dims)
+        if min(sub) < min_subdomain:
+            break
+        times = {}
+        for m in methods:
+            try:
+                times[m] = model_timestep(profile, m, sub, spec).total
+            except ValueError:
+                continue
+        if not times:
+            break
+        best = min(times, key=times.get)
+        if base is None:
+            base = times[best] * nodes
+        rows.append(
+            AdviceRow(
+                nodes=nodes,
+                subdomain=sub,
+                timestep_s=times,
+                best=best,
+                efficiency=base / (times[best] * nodes),
+            )
+        )
+        nodes *= 2
+    return rows
+
+
+def render_advice(
+    rows: Sequence[AdviceRow], domain: int, machine: str, stencil: str
+) -> str:
+    if not rows:
+        return "no feasible configuration in the requested range\n"
+    methods = list(rows[0].timestep_s)
+    table_rows = [
+        [r.nodes, "x".join(map(str, r.subdomain))]
+        + [r.timestep_s.get(m, float("nan")) * 1e3 for m in methods]
+        + [r.best, 100 * r.efficiency]
+        for r in rows
+    ]
+    _, _, rpn = MACHINES[machine]
+    return format_table(
+        f"Strong scaling of a {domain}^3 {stencil} stencil on {machine}"
+        f" ({rpn} rank(s)/node) -- timestep ms",
+        ["nodes", "subdomain"] + methods + ["best", "eff%"],
+        table_rows,
+        spec=".3g",
+    )

@@ -1,0 +1,77 @@
+"""Rendering and decomposition helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
+
+__all__ = ["dims_create", "format_table", "format_series"]
+
+Number = Union[int, float]
+
+
+def dims_create(nranks: int, ndim: int) -> Tuple[int, ...]:
+    """Factor *nranks* into *ndim* near-equal factors (MPI_Dims_create).
+
+    Largest factors first; the product is exactly *nranks*.
+    """
+    if nranks <= 0 or ndim <= 0:
+        raise ValueError("nranks and ndim must be positive")
+    dims = [1] * ndim
+    remaining = nranks
+    # Repeatedly peel the smallest prime factor onto the smallest dim.
+    factors: List[int] = []
+    n = remaining
+    p = 2
+    while p * p <= n:
+        while n % p == 0:
+            factors.append(p)
+            n //= p
+        p += 1
+    if n > 1:
+        factors.append(n)
+    for f in sorted(factors, reverse=True):
+        dims[dims.index(min(dims))] *= f
+    dims.sort(reverse=True)
+    assert math.prod(dims) == nranks
+    return tuple(dims)
+
+
+def _fmt(value, spec: str = ".4g") -> str:
+    if isinstance(value, (bool, int, str)) or not isinstance(value, float):
+        return str(value)
+    return format(value, spec)
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[Number]],
+    spec: str = ".4g",
+) -> str:
+    """Render an aligned text table with a title rule."""
+    cells = [[str(c) for c in columns]] + [
+        [_fmt(v, spec) for v in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(columns))]
+    lines = [title, "-" * max(len(title), sum(widths) + 2 * len(widths))]
+    for r, rendered in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(rendered, widths)))
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines) + "\n"
+
+
+def format_series(
+    title: str,
+    x_name: str,
+    xs: Sequence[Number],
+    series: Mapping[str, Sequence[Number]],
+    spec: str = ".4g",
+) -> str:
+    """Render {name: values} series against a shared x axis."""
+    columns = [x_name] + list(series)
+    rows = [
+        [x] + [series[name][i] for name in series] for i, x in enumerate(xs)
+    ]
+    return format_table(title, columns, rows, spec)

@@ -1,0 +1,196 @@
+"""Rendered (text) versions of every paper artifact.
+
+The single registry behind ``examples/paper_figures.py``, the ``repro
+figures`` CLI and parts of the benchmark suite: each entry returns the
+artifact as an aligned text table.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.bench import experiments as E
+from repro.bench.harness import format_series, format_table
+
+__all__ = ["ARTIFACTS", "render"]
+
+
+def _fig1() -> str:
+    d = E.fig1_breakdown()
+    rows = [
+        [n, d["yask"]["compute"][i], d["yask"]["mpi"][i],
+         d["yask"]["packing"][i], d["proposed"]["compute"][i],
+         d["proposed"]["mpi"][i]]
+        for i, n in enumerate(d["sizes"])
+    ]
+    return format_table(
+        "FIG1  Time breakdown, % of YASK total (8 KNL nodes)",
+        ["N", "yask:comp", "yask:mpi", "yask:pack", "prop:comp", "prop:mpi"],
+        rows, spec=".1f",
+    )
+
+
+def _fig4() -> str:
+    d = E.fig4_layout_vs_basic()
+    return format_series(
+        "FIG4  Communication time (ms): YASK vs Basic(98) vs Layout(42)",
+        "N", d["sizes"], d["comm_ms"],
+    )
+
+
+def _tab1() -> str:
+    d = E.table1_messages()
+    rows = list(zip(*(d[k] for k in d)))
+    return format_table("TAB1  Messages vs dimensionality", list(d), rows)
+
+
+def _fig8() -> str:
+    d = E.k1_scaling()
+    return format_series(
+        "FIG8  (K1) 7-pt GStencil/s, 8 KNL nodes", "N", d["sizes"],
+        d["gstencils"],
+    )
+
+
+def _fig9() -> str:
+    d = E.k1_comm_time()
+    series = dict(d["comm_ms"], **{"comp(memmap)": d["comp_ms"]})
+    return format_series(
+        "FIG9  (K1) Communication time (ms), 8 KNL nodes", "N", d["sizes"],
+        series,
+    )
+
+
+def _fig10() -> str:
+    d = E.k1_compute_time()
+    return format_series(
+        "FIG10  (K1) Compute time (ms), 8 KNL nodes", "N", d["sizes"],
+        d["comp_ms"],
+    )
+
+
+def _fig11() -> str:
+    d = E.k2_strong_scaling()
+    return format_series(
+        "FIG11  (K2) Strong scaling 1024^3, GStencil/s", "nodes", d["nodes"],
+        d["gstencils"],
+    )
+
+
+def _fig12() -> str:
+    d = E.k2_strong_scaling()
+    return format_series(
+        "FIG12  (K2) comm vs comp per timestep (ms), 7-pt", "nodes",
+        d["nodes"],
+        {
+            "yask:comm": d["comm_ms"]["yask:7pt"],
+            "yask:comp": d["comp_ms"]["yask:7pt"],
+            "memmap:comm": d["comm_ms"]["memmap:7pt"],
+            "memmap:comp": d["comp_ms"]["memmap:7pt"],
+        },
+    )
+
+
+def _fig13() -> str:
+    d = E.v1_scaling()
+    return format_series(
+        "FIG13  (V1) 7-pt GStencil/s, 8 V100s", "N", d["sizes"],
+        d["gstencils"],
+    )
+
+
+def _fig14() -> str:
+    d = E.v1_comm_time()
+    series = dict(d["comm_ms"], **{"comp(memmap_um)": d["comp_ms"]})
+    return format_series(
+        "FIG14  (V1) Communication time (ms), 8 V100s", "N", d["sizes"],
+        series,
+    )
+
+
+def _fig15() -> str:
+    d = E.v1_compute_time()
+    return format_series(
+        "FIG15  (V1) Compute time (ms), 8 V100s", "N", d["sizes"],
+        d["comp_ms"],
+    )
+
+
+def _tab2() -> str:
+    d = E.table2_padding()
+    rows = [
+        [n, d["padding_pct"]["layout"][i], d["padding_pct"]["memmap"][i],
+         d["bandwidth_gbs"]["layout_ca"][i], d["bandwidth_gbs"]["layout_um"][i],
+         d["bandwidth_gbs"]["memmap_um"][i]]
+        for i, n in enumerate(d["sizes"])
+    ]
+    return format_table(
+        "TAB2  (V1) Padding (%) and achieved bandwidth (GB/s)",
+        ["N", "pad%:layout", "pad%:memmap", "bw:CA", "bw:L_UM", "bw:MM_UM"],
+        rows, spec=".1f",
+    )
+
+
+def _fig16() -> str:
+    d = E.v2_strong_scaling()
+    return format_series(
+        "FIG16  (V2) Strong scaling 2048^3, GStencil/s", "nodes", d["nodes"],
+        d["gstencils"],
+    )
+
+
+def _fig17() -> str:
+    d = E.v2_strong_scaling()
+    return format_series(
+        "FIG17  (V2) comm vs comp per timestep (ms), 7-pt", "nodes",
+        d["nodes"],
+        {
+            "types:comm": d["comm_ms"]["mpi_types_um:7pt"],
+            "memmap:comm": d["comm_ms"]["memmap_um:7pt"],
+            "layout_ca:comm": d["comm_ms"]["layout_ca:7pt"],
+            "layout_ca:comp": d["comp_ms"]["layout_ca:7pt"],
+        },
+    )
+
+
+def _fig18() -> str:
+    d = E.fig18_pagesize()
+    return format_series(
+        "FIG18  Page-size effect on MemMap comm (ms), 8 KNL nodes", "N",
+        d["sizes"], d["comm_ms"],
+    )
+
+
+def _tab3() -> str:
+    d = E.table3_costs()
+    rows = [
+        [name, d["Array"][i], d["Layout"][i], d["MemMap"][i]]
+        for i, name in enumerate(d["rows"])
+    ]
+    body = format_table(
+        "TAB3  Cost comparison", ["Cost Type", "Array", "Layout", "MemMap"],
+        rows,
+    )
+    notes = "\n".join(f"{k} {v}" for k, v in d["notes"].items())
+    return body + notes + "\n"
+
+
+ARTIFACTS: Dict[str, Callable[[], str]] = {
+    "fig1": _fig1, "fig4": _fig4, "tab1": _tab1,
+    "fig8": _fig8, "fig9": _fig9, "fig10": _fig10,
+    "fig11": _fig11, "fig12": _fig12,
+    "fig13": _fig13, "fig14": _fig14, "fig15": _fig15,
+    "tab2": _tab2, "fig16": _fig16, "fig17": _fig17,
+    "fig18": _fig18, "tab3": _tab3,
+}
+
+
+def render(name: str) -> str:
+    """Render one artifact by name (see :data:`ARTIFACTS`)."""
+    try:
+        fn = ARTIFACTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown artifact {name!r}; available: {' '.join(ARTIFACTS)}"
+        ) from None
+    return fn()

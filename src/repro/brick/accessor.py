@@ -1,0 +1,103 @@
+"""Element-level Brick accessor (the paper's Figure 6 interface).
+
+``Brick(info, storage)[slot][i1, i2, i3]`` reads one element of a brick;
+indices may run outside ``[0, brick_dim)`` by up to one brick per axis, in
+which case the access is transparently redirected through the adjacency to
+the neighboring brick -- the property that makes stencil code
+layout-agnostic.
+
+This accessor is for clarity and testing, not speed; the vectorized
+kernels in :mod:`repro.stencil.brick_kernels` are the production path.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.brick.info import BrickInfo, direction_index
+from repro.brick.storage import BrickStorage
+from repro.util.indexing import ravel_coord
+
+__all__ = ["Brick", "BrickView"]
+
+
+class Brick:
+    """Storage + logical layout, addressed by brick slot then element."""
+
+    def __init__(
+        self, info: BrickInfo, storage: BrickStorage, field_offset: int = 0
+    ) -> None:
+        if storage.brick_elems % np.prod(info.brick_dim):
+            raise ValueError("storage brick size incompatible with BrickInfo")
+        if field_offset < 0 or field_offset + np.prod(info.brick_dim) > storage.brick_elems:
+            raise ValueError("field offset outside the brick")
+        self.info = info
+        self.storage = storage
+        self.field_offset = int(field_offset)
+
+    def __getitem__(self, slot: int) -> "BrickView":
+        if not 0 <= slot < self.storage.nslots:
+            raise IndexError(f"slot {slot} outside storage of {self.storage.nslots}")
+        return BrickView(self, int(slot))
+
+    def resolve(self, slot: int, index: Sequence[int]) -> Tuple[int, int]:
+        """Map a possibly out-of-brick element index to (slot, flat offset)."""
+        bd = self.info.brick_dim
+        if len(index) != self.info.ndim:
+            raise IndexError(
+                f"need {self.info.ndim} indices (axis 1 first), got {len(index)}"
+            )
+        shift = []
+        local = []
+        for i, b in zip(index, bd):
+            i = int(i)
+            if i < -b or i >= 2 * b:
+                raise IndexError(
+                    f"index {i} reaches beyond the adjacent brick (dim {b})"
+                )
+            if i < 0:
+                shift.append(-1)
+                local.append(i + b)
+            elif i >= b:
+                shift.append(1)
+                local.append(i - b)
+            else:
+                shift.append(0)
+                local.append(i)
+        if any(shift):
+            slot = int(self.info.adjacency[slot, direction_index(shift)])
+            if slot < 0:
+                raise IndexError(
+                    f"access leaves the brick grid (direction {tuple(shift)})"
+                )
+        return slot, self.field_offset + ravel_coord(local, bd)
+
+    def get(self, slot: int, index: Sequence[int]) -> float:
+        s, off = self.resolve(slot, index)
+        return self.storage.data[s, off]
+
+    def set(self, slot: int, index: Sequence[int], value: float) -> None:
+        s, off = self.resolve(slot, index)
+        self.storage.data[s, off] = value
+
+
+class BrickView:
+    """One brick of a :class:`Brick`, indexable by element tuple."""
+
+    __slots__ = ("_brick", "_slot")
+
+    def __init__(self, brick: Brick, slot: int) -> None:
+        self._brick = brick
+        self._slot = slot
+
+    def __getitem__(self, index) -> float:
+        if not isinstance(index, tuple):
+            index = (index,)
+        return self._brick.get(self._slot, index)
+
+    def __setitem__(self, index, value) -> None:
+        if not isinstance(index, tuple):
+            index = (index,)
+        self._brick.set(self._slot, index, value)

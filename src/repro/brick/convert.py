@@ -1,0 +1,117 @@
+"""Conversion between lexicographic arrays and brick storage.
+
+The extended array of a subdomain has shape ``(E_D + 2g, ..., E_1 + 2g)``
+in numpy axis order (axis 1 last/fastest) and covers the ghost shell.  A
+single precomputed permutation maps every element of that array to its
+``(slot, within-brick offset)`` flat position in storage, so conversion is
+one vectorized fancy-indexing gather/scatter.
+
+These converters are the test oracle's bridge: reference stencils run on
+plain arrays, brick kernels on storage, and the permutation proves them
+equal element-for-element.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.brick.decomp import BrickDecomp, SlotAssignment
+    from repro.brick.storage import BrickStorage
+
+__all__ = [
+    "extended_shape",
+    "element_permutation",
+    "extended_to_bricks",
+    "bricks_to_extended",
+]
+
+def extended_shape(decomp: "BrickDecomp") -> Tuple[int, ...]:
+    """Numpy shape of the subdomain-plus-ghost array (axis D first)."""
+    return tuple(
+        e + 2 * decomp.ghost_elems for e in reversed(decomp.extent)
+    )
+
+
+def element_permutation(
+    decomp: "BrickDecomp", assignment: "SlotAssignment", fld: int = 0
+) -> np.ndarray:
+    """Flat storage index of every element of the extended array.
+
+    Returned array has :func:`extended_shape`; entry ``[cD, ..., c1]`` is
+    the index into ``storage.data.reshape(-1)`` holding that element (for
+    interleaved field *fld*).
+    """
+    # Cache on the decomp instance itself: a module-level id()-keyed cache
+    # would hand a *new* decomp the permutation of a garbage-collected one
+    # whose id was reused.
+    cache: Dict[Tuple[int, int], np.ndarray] = decomp.__dict__.setdefault(
+        "_element_perm_cache", {}
+    )
+    key = (assignment.alignment, fld)
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    if not 0 <= fld < decomp.nfields:
+        raise ValueError(f"field {fld} outside 0..{decomp.nfields - 1}")
+
+    ndim = decomp.ndim
+    g = decomp.ghost_elems
+    # Per-axis element coordinate decomposition (axis order 1..D).
+    grid_axes = []  # brick-grid index along each axis (0 .. n+2W-1)
+    within_axes = []  # within-brick offset along each axis
+    for axis in range(ndim):
+        bd = decomp.brick_dim[axis]
+        n_ext = decomp.extent[axis] + 2 * g
+        e = np.arange(n_ext)
+        grid_axes.append(e // bd)
+        within_axes.append(e % bd)
+
+    # slot per element: expand grid_index through per-axis grid coords.
+    # grid_index is numpy-ordered (axis D first); use open meshes.
+    mesh = np.ix_(*(grid_axes[axis] for axis in range(ndim - 1, -1, -1)))
+    slots = assignment.grid_index[mesh]  # extended shape
+    if (slots < 0).any():
+        raise AssertionError("extended array element fell outside the grid")
+
+    # within-brick flat offset (axis 1 fastest), broadcast over axes.
+    offset = np.zeros((1,) * ndim, dtype=np.int64)
+    stride = 1
+    for axis in range(ndim):
+        shape = [1] * ndim
+        shape[ndim - 1 - axis] = within_axes[axis].size  # numpy axis position
+        offset = offset + within_axes[axis].reshape(shape) * stride
+        stride *= decomp.brick_dim[axis]
+
+    field_base = fld * decomp.brick_volume
+    perm = slots * decomp.brick_elems + field_base + offset
+    cache[key] = perm
+    return perm
+
+
+def extended_to_bricks(
+    arr: np.ndarray,
+    decomp: "BrickDecomp",
+    storage: "BrickStorage",
+    assignment: "SlotAssignment",
+    fld: int = 0,
+) -> None:
+    """Scatter an extended array into brick storage (one fancy index)."""
+    shape = extended_shape(decomp)
+    if arr.shape != shape:
+        raise ValueError(f"expected extended array of shape {shape}, got {arr.shape}")
+    perm = element_permutation(decomp, assignment, fld)
+    storage.data.reshape(-1)[perm.reshape(-1)] = arr.reshape(-1)
+
+
+def bricks_to_extended(
+    decomp: "BrickDecomp",
+    storage: "BrickStorage",
+    assignment: "SlotAssignment",
+    fld: int = 0,
+) -> np.ndarray:
+    """Gather brick storage back into a fresh extended array."""
+    perm = element_permutation(decomp, assignment, fld)
+    return storage.data.reshape(-1)[perm]

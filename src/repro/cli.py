@@ -1,0 +1,228 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``figures [name ...]``
+    Regenerate paper artifacts as text tables (all 16 by default).
+``run``
+    Execute a distributed stencil run on simulated ranks, validate it
+    bit-for-bit against the serial reference, and print the artifact
+    metrics.
+``advise``
+    Strong-scaling advisor: best exchange scheme per node count.
+``search-layout``
+    Search for a message-minimal region order in D dimensions.
+``validate``
+    Self-check: run every executable method on a small problem and
+    verify all of them against the reference.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _cmd_figures(args) -> int:
+    from repro.bench.render import ARTIFACTS, render
+
+    if args.list:
+        print(" ".join(ARTIFACTS))
+        return 0
+    names = args.names or list(ARTIFACTS)
+    for name in names:
+        print(render(name))
+    return 0
+
+
+def _profile(name: str):
+    from repro.hardware.profiles import generic_host, summit_v100, theta_knl
+
+    return {"theta": theta_knl, "summit": summit_v100, "generic": generic_host}[
+        name
+    ]()
+
+
+def _cmd_run(args) -> int:
+    from repro.core.driver import run_executed
+    from repro.core.problem import StencilProblem
+    from repro.stencil.reference import apply_periodic_reference
+    from repro.stencil.spec import CUBE125, SEVEN_POINT
+
+    stencil = {"7pt": SEVEN_POINT, "125pt": CUBE125}[args.stencil]
+    problem = StencilProblem(
+        global_extent=tuple(args.domain),
+        rank_dims=tuple(args.ranks),
+        stencil=stencil,
+        brick_dim=(args.brick,) * 3,
+        ghost=args.ghost,
+        periodic=not args.open_boundaries,
+    )
+    run = run_executed(
+        problem, args.method, _profile(args.machine), timesteps=args.steps,
+        exchange_period=args.exchange_period,
+    )
+    print(run.metrics.report())
+    print(f"messages/rank/step: {run.messages_per_rank}")
+    if run.exchange_period > 1:
+        print(f"exchange period: {run.exchange_period} (ghost-cell expansion)")
+    if run.mapping_count:
+        print(f"mmap views: {run.mapping_count} kernel mappings")
+    exact = None
+    if problem.periodic:
+        ref = apply_periodic_reference(
+            problem.initial_global(0), stencil, args.steps
+        )
+        exact = bool(np.array_equal(run.global_result, ref))
+        print(f"bit-exact vs serial reference: {exact}")
+    if args.json:
+        import json
+
+        m = run.metrics
+        payload = {
+            "method": args.method,
+            "machine": args.machine,
+            "stencil": args.stencil,
+            "global_extent": list(problem.global_extent),
+            "rank_dims": list(problem.rank_dims),
+            "timesteps": args.steps,
+            "exchange_period": run.exchange_period,
+            "messages_per_rank": run.messages_per_rank,
+            "wire_bytes_per_rank": run.wire_bytes_per_rank,
+            "padding_fraction": run.padding_fraction,
+            "mapping_count": run.mapping_count,
+            "gstencils_per_s": m.gstencils_per_s,
+            "phases_s": {
+                p: vars(m.phase(p))
+                for p in ("calc", "pack", "call", "wait", "move")
+            },
+            "bit_exact": exact,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 1 if exact is False else 0
+
+
+def _cmd_advise(args) -> int:
+    from repro.bench.advisor import advise, render_advice
+
+    rows = advise(args.domain, args.machine, args.stencil, args.max_nodes)
+    print(render_advice(rows, args.domain, args.machine, args.stencil))
+    good = [r for r in rows if r.efficiency >= 0.5]
+    if good:
+        r = good[-1]
+        print(
+            f"Recommendation: up to {r.nodes} nodes with '{r.best}',"
+            f" parallel efficiency {100 * r.efficiency:.0f}%."
+        )
+    return 0
+
+
+def _cmd_search_layout(args) -> int:
+    from repro.layout.analysis import optimal_message_count
+    from repro.layout.messages import messages_for_order
+    from repro.layout.search import anneal_order, exhaustive_best_order
+
+    target = optimal_message_count(args.ndim)
+    if args.exhaustive:
+        order, count = exhaustive_best_order(args.ndim)
+    else:
+        order, count = anneal_order(
+            args.ndim, seed=args.seed, restarts=args.restarts,
+            iters=args.iters, target=target,
+        )
+    print(f"D={args.ndim}: found order with {count} messages"
+          f" (Eq. 1 bound: {target})")
+    for region in order:
+        print(f"  {region.notation()}")
+    return 0 if count == target else 2
+
+
+def _cmd_validate(args) -> int:
+    from repro.core.driver import run_executed
+    from repro.core.problem import StencilProblem
+    from repro.stencil.reference import apply_periodic_reference
+    from repro.stencil.spec import SEVEN_POINT
+
+    problem = StencilProblem(
+        global_extent=(32, 32, 32), rank_dims=(2, 2, 2),
+        stencil=SEVEN_POINT, brick_dim=(8, 8, 8), ghost=8,
+    )
+    ref = apply_periodic_reference(problem.initial_global(0), SEVEN_POINT, 2)
+    failures = 0
+    for method in ("yask", "yask_ol", "mpi_types", "shift", "basic",
+                   "layout", "memmap"):
+        run = run_executed(problem, method, _profile(args.machine), timesteps=2)
+        ok = np.array_equal(run.global_result, ref)
+        print(f"  {method:<10} {'OK' if ok else 'FAILED'}"
+              f"  ({run.messages_per_rank} msgs/rank/step)")
+        failures += not ok
+    print("all exchange methods bit-exact" if not failures
+          else f"{failures} method(s) diverged")
+    return 1 if failures else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Pack-free ghost-zone exchange (PPoPP'21 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("figures", help="regenerate paper artifacts")
+    p.add_argument("names", nargs="*")
+    p.add_argument("--list", action="store_true")
+    p.set_defaults(fn=_cmd_figures)
+
+    p = sub.add_parser("run", help="executed distributed run + validation")
+    p.add_argument("--method", default="memmap")
+    p.add_argument("--domain", type=int, nargs=3, default=[32, 32, 32])
+    p.add_argument("--ranks", type=int, nargs=3, default=[2, 2, 2])
+    p.add_argument("--steps", type=int, default=2)
+    p.add_argument("--brick", type=int, default=8)
+    p.add_argument("--ghost", type=int, default=8)
+    p.add_argument("--stencil", choices=("7pt", "125pt"), default="7pt")
+    p.add_argument("--machine", choices=("theta", "summit", "generic"),
+                   default="theta")
+    p.add_argument("--open-boundaries", action="store_true")
+    p.add_argument(
+        "--exchange-period", default=None,
+        help="exchange every N steps ('auto' for the maximum the ghost"
+             " width supports); redundant computation fills the gaps",
+    )
+    p.add_argument("--json", metavar="PATH",
+                   help="also write the run summary as JSON")
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("advise", help="strong-scaling advisor")
+    p.add_argument("--domain", type=int, default=1024)
+    p.add_argument("--machine", choices=("theta", "summit"), default="theta")
+    p.add_argument("--stencil", choices=("7pt", "125pt"), default="7pt")
+    p.add_argument("--max-nodes", type=int, default=1024)
+    p.set_defaults(fn=_cmd_advise)
+
+    p = sub.add_parser("search-layout", help="find a message-minimal order")
+    p.add_argument("ndim", type=int)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--restarts", type=int, default=20)
+    p.add_argument("--iters", type=int, default=8000)
+    p.add_argument("--exhaustive", action="store_true")
+    p.set_defaults(fn=_cmd_search_layout)
+
+    p = sub.add_parser("validate", help="self-check all exchange methods")
+    p.add_argument("--machine", choices=("theta", "summit", "generic"),
+                   default="theta")
+    p.set_defaults(fn=_cmd_validate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)

@@ -1,0 +1,354 @@
+"""Executed distributed driver: real data movement over simulated ranks.
+
+Runs a :class:`~repro.core.problem.StencilProblem` for a number of
+timesteps with a chosen exchange method.  Each rank is a thread in the
+:mod:`repro.simmpi` fabric; data really moves; stencils are really applied
+(vectorized).  Per-timestep *times* are modelled via
+:func:`repro.core.model.model_timestep` (the single source of truth the
+figure benches also use), while the run additionally verifies itself: the
+assembled global result must equal the serial periodic reference
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.brick.convert import bricks_to_extended, extended_to_bricks
+from repro.brick.decomp import BrickDecomp
+from repro.core.expansion import (
+    brick_cycle_slots,
+    depths_for_period,
+    margins_for_period,
+)
+from repro.core.methods import MethodInfo, method_info
+from repro.core.metrics import RankMetrics, RunMetrics
+from repro.core.model import (
+    compute_time,
+    exchange_breakdown,
+    make_transport,
+    model_timestep,
+    _schedules,
+)
+from repro.core.problem import StencilProblem
+from repro.exchange.layout_ex import LayoutExchanger
+from repro.exchange.memmap_ex import MemMapExchanger
+from repro.exchange.mpitypes import MPITypesExchanger
+from repro.exchange.pack import PackExchanger
+from repro.exchange.shift import ShiftExchanger
+from repro.hardware.profiles import MachineProfile, generic_host
+from repro.simmpi.comm import SimComm
+from repro.simmpi.fabric import SimFabric
+from repro.simmpi.launcher import run_spmd
+from repro.stencil.brick_kernels import apply_brick_stencil
+from repro.stencil.kernels import apply_array_stencil, owned_slices
+from repro.util.timing import TimeBreakdown
+
+__all__ = ["ExecutedRun", "run_executed"]
+
+
+@dataclass
+class ExecutedRun:
+    """Everything one executed run produced."""
+
+    method: str
+    global_result: np.ndarray
+    metrics: RunMetrics
+    fabric: SimFabric
+    messages_per_rank: int
+    wire_bytes_per_rank: int
+    padding_fraction: float
+    mapping_count: int  # MemMap only; 0 otherwise
+    exchange_period: int = 1  # steps between exchanges (ghost expansion)
+
+
+def _make_exchanger(
+    info: MethodInfo,
+    cart,
+    problem: StencilProblem,
+    profile: MachineProfile,
+    array: Optional[np.ndarray],
+    brick_state: Optional[tuple],
+    page_size: Optional[int],
+):
+    ext, g = problem.subdomain_extent, problem.ghost
+    if info.base in ("yask", "yask_ol"):
+        return PackExchanger(cart, array, ext, g, profile)
+    if info.base == "mpi_types":
+        return MPITypesExchanger(cart, array, ext, g, profile)
+    if info.base == "shift":
+        return ShiftExchanger(cart, array, ext, g, profile)
+    decomp, storage, assignment = brick_state
+    if info.base in ("layout", "basic"):
+        return LayoutExchanger(
+            cart, decomp, storage, assignment, profile,
+            merge_runs=(info.base == "layout"),
+        )
+    if info.base == "memmap":
+        return MemMapExchanger(
+            cart, decomp, storage, assignment, profile, page_size
+        )
+    raise ValueError(f"method {info.name!r} is model-only and cannot execute")
+
+
+def _modelled_totals(
+    profile: MachineProfile,
+    info: MethodInfo,
+    problem: StencilProblem,
+    page_size: Optional[int],
+    timesteps: int,
+    period: int,
+    computed_points: list,
+) -> TimeBreakdown:
+    """Accumulate modelled time over a run with exchange period *period*.
+
+    ``computed_points[pos]`` is the number of stencil points evaluated at
+    cycle position *pos* (redundant computation included).
+    """
+    ext = problem.subdomain_extent
+    spec = problem.stencil
+    exch = exchange_breakdown(
+        profile, info.name, ext, problem.brick_dim, problem.ghost,
+        problem.layout, page_size, spec.itemsize,
+    )
+    um_penalty = 0.0
+    if info.transport == "um":
+        transport = make_transport(info, profile)
+        _, recvs, _ = _schedules(
+            info, profile, ext, problem.brick_dim, problem.ghost,
+            problem.layout, page_size, spec.itemsize,
+        )
+        um_penalty = transport.compute_penalty(recvs)
+
+    totals = TimeBreakdown()
+    for t in range(timesteps):
+        pos = t % period
+        calc = compute_time(profile, info, computed_points[pos], spec)
+        if pos == 0:
+            calc += um_penalty
+            wait = exch.wait
+            if info.overlaps:
+                wait = max(0.0, wait - calc)
+            totals.charge("pack", exch.pack)
+            totals.charge("call", exch.call)
+            totals.charge("wait", wait)
+            totals.charge("move", exch.move)
+        totals.charge("calc", calc)
+    return totals
+
+
+def _rank_fn(
+    comm: SimComm,
+    problem: StencilProblem,
+    method: str,
+    profile: MachineProfile,
+    timesteps: int,
+    seed: int,
+    page_size: Optional[int],
+    exchange_period,
+):
+    info = method_info(method)
+    cart = comm.Create_cart(
+        problem.rank_dims, periods=[problem.periodic] * problem.ndim
+    )
+    ext = problem.subdomain_extent
+    g = problem.ghost
+    spec = problem.stencil
+
+    global_arr = problem.initial_global(seed)
+    owned = global_arr[problem.owned_slices(cart.coords)]
+    ext_shape = tuple(e + 2 * g for e in reversed(ext))
+    own_slc = owned_slices(ext, g)
+    owned_points = problem.points_per_rank
+
+    counters = {"msgs": 0, "wire": 0, "payload": 0, "maps": 0}
+
+    if not info.uses_bricks:
+        period = _resolve_period(exchange_period, g // spec.radius, "element")
+        margins = margins_for_period(period, spec.radius, g)
+        computed_points = [
+            int(np.prod([e + 2 * margins[pos] for e in ext]))
+            for pos in range(period)
+        ]
+        a = np.zeros(ext_shape, dtype=problem.dtype)
+        a[own_slc] = owned
+        b = np.zeros_like(a)
+        exchangers = [
+            _make_exchanger(info, cart, problem, profile, arr, None, page_size)
+            for arr in (a, b)
+        ]
+        src, dst = 0, 1
+        arrays = [a, b]
+        for t in range(timesteps):
+            pos = t % period
+            if pos == 0:
+                res = exchangers[src].exchange()
+                counters["msgs"] += res.messages_sent
+                counters["wire"] += res.wire_bytes_sent
+                counters["payload"] += res.payload_bytes_sent
+            apply_array_stencil(
+                arrays[src], arrays[dst], spec, ext, g, margin=margins[pos]
+            )
+            src, dst = dst, src
+        result = arrays[src][own_slc].copy()
+    else:
+        decomp = BrickDecomp(
+            ext, problem.brick_dim, g, problem.layout, problem.dtype
+        )
+        page = page_size or (
+            profile.gpu.page_size if info.is_gpu and profile.gpu else profile.page_size
+        )
+        if info.base == "memmap":
+            sa, asn = decomp.mmap_alloc(page)
+            sb, _ = decomp.mmap_alloc(page)
+        else:
+            sa, asn = decomp.allocate()
+            sb, _ = decomp.allocate()
+        binfo = decomp.brick_info(asn)
+        period = _resolve_period(exchange_period, decomp.width, "brick")
+        cycle_slots = brick_cycle_slots(
+            decomp, asn, spec.radius, depths_for_period(period, decomp.width)
+        )
+        computed_points = [
+            len(cycle_slots[pos]) * decomp.brick_volume
+            for pos in range(period)
+        ]
+        storages = [sa, sb]
+        exchangers = [
+            _make_exchanger(
+                info, cart, problem, profile, None, (decomp, st, asn), page
+            )
+            for st in storages
+        ]
+        tmp = np.zeros(ext_shape, dtype=problem.dtype)
+        tmp[own_slc] = owned
+        extended_to_bricks(tmp, decomp, sa, asn)
+        src, dst = 0, 1
+        for t in range(timesteps):
+            pos = t % period
+            if pos == 0:
+                res = exchangers[src].exchange()
+                counters["msgs"] += res.messages_sent
+                counters["wire"] += res.wire_bytes_sent
+                counters["payload"] += res.payload_bytes_sent
+            apply_brick_stencil(
+                spec, storages[src], storages[dst], binfo, cycle_slots[pos]
+            )
+            src, dst = dst, src
+        if info.base == "memmap":
+            counters["maps"] = exchangers[0].mapping_count
+        result = bricks_to_extended(decomp, storages[src], asn)[own_slc].copy()
+        for ex in exchangers:
+            close = getattr(ex, "close", None)
+            if close:
+                close()
+        for st in storages:
+            st.close()
+
+    totals = _modelled_totals(
+        profile, info, problem, page_size, timesteps, period, computed_points
+    )
+    return {
+        "coords": cart.coords,
+        "result": result,
+        "totals": totals,
+        "counters": counters,
+        "period": period,
+    }
+
+
+def _resolve_period(requested, available: int, granularity: str) -> int:
+    """Validate/resolve the exchange period against what the ghost
+    width supports at this granularity."""
+    if requested in (None, 1):
+        return 1
+    if requested == "auto":
+        return available
+    period = int(requested)
+    if period < 1:
+        raise ValueError("exchange_period must be >= 1")
+    if period > available:
+        raise ValueError(
+            f"exchange_period {period} exceeds the {available} step(s) the"
+            f" ghost width supports at {granularity} granularity; widen the"
+            " ghost zone (ghost-cell expansion)"
+        )
+    return period
+
+
+def run_executed(
+    problem: StencilProblem,
+    method: str,
+    profile: Optional[MachineProfile] = None,
+    timesteps: int = 1,
+    seed: int = 0,
+    page_size: Optional[int] = None,
+    exchange_period=None,
+) -> ExecutedRun:
+    """Run the problem end-to-end on simulated ranks; see module docs.
+
+    *exchange_period*: exchange every N steps instead of every step,
+    computing redundantly into the ghost shell in between (ghost-cell
+    expansion / communication avoiding).  ``"auto"`` uses the maximum
+    period the ghost width supports; the default (None) exchanges every
+    step as the paper's main experiments do.
+    """
+    if timesteps <= 0:
+        raise ValueError("timesteps must be positive")
+    profile = profile or generic_host()
+    info = method_info(method)
+    if info.base == "network":
+        raise ValueError(
+            "'network' is the modelled communication floor; use"
+            " repro.core.model.model_timestep for it"
+        )
+    fabric = SimFabric(problem.nranks)
+    outs = run_spmd(
+        problem.nranks,
+        _rank_fn,
+        problem,
+        method,
+        profile,
+        timesteps,
+        seed,
+        page_size,
+        exchange_period,
+        fabric=fabric,
+    )
+
+    global_result = np.empty(
+        tuple(reversed(problem.global_extent)), dtype=problem.dtype
+    )
+    for out in outs:
+        global_result[problem.owned_slices(out["coords"])] = out["result"]
+
+    ranks = [
+        RankMetrics(rank=i, timesteps=timesteps, totals=out["totals"])
+        for i, out in enumerate(outs)
+    ]
+    metrics = RunMetrics(
+        method=method,
+        points_per_rank=problem.points_per_rank,
+        nranks=problem.nranks,
+        timesteps=timesteps,
+        ranks=ranks,
+    )
+    c0 = outs[0]["counters"]
+    payload = c0["payload"]
+    period = outs[0]["period"]
+    n_exchanges = max(1, -(-timesteps // period))
+    return ExecutedRun(
+        method=method,
+        global_result=global_result,
+        metrics=metrics,
+        fabric=fabric,
+        messages_per_rank=c0["msgs"] // n_exchanges,
+        wire_bytes_per_rank=c0["wire"] // n_exchanges,
+        padding_fraction=(c0["wire"] - payload) / payload if payload else 0.0,
+        mapping_count=c0["maps"],
+        exchange_period=period,
+    )

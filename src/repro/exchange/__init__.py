@@ -1,0 +1,61 @@
+"""Ghost-zone exchange engines.
+
+Four strategies from the paper's evaluation plus one from related work:
+
+* :class:`PackExchanger` -- the classic baseline (YASK-style): explicitly
+  pack each neighbor's surface boxes into a contiguous buffer, one message
+  per neighbor, unpack on arrival.  Maximum on-node data movement.
+* :class:`MPITypesExchanger` -- MPI derived datatypes; the "library" packs
+  internally (no application ``pack`` phase, but the interpretive datatype
+  engine is charged inside MPI time).
+* :class:`LayoutExchanger` -- pack-free: bricks are laid out so each
+  message is a contiguous slot range sent straight out of brick storage
+  (42 messages in 3-D instead of 26, zero copies).
+* :class:`MemMapExchanger` -- pack-free *and* message-minimal: stitched
+  virtual-memory views make each neighbor's regions virtually contiguous
+  (26 messages, zero copies, page-padding network overhead).
+* :class:`ShiftExchanger` -- related-work Shift algorithm: per-dimension
+  face exchanges with corner forwarding (2D messages, extra
+  synchronization).
+"""
+
+from repro.exchange.base import ExchangeResult, Exchanger
+from repro.exchange.boxes import neighbor_recv_box, neighbor_send_box
+from repro.exchange.layout_ex import LayoutExchanger
+from repro.exchange.hierarchical import RankDomainGrid
+from repro.exchange.local import LocalDomainGrid
+from repro.exchange.memmap_ex import ExchangeView, MemMapExchanger
+from repro.exchange.mpitypes import MPITypesExchanger
+from repro.exchange.pack import PackExchanger
+from repro.exchange.schedule import (
+    MessageSpec,
+    array_schedule,
+    basic_brick_schedule,
+    brick_recv_schedule,
+    brick_send_schedule,
+    memmap_schedule,
+    shift_schedule,
+)
+from repro.exchange.shift import ShiftExchanger
+
+__all__ = [
+    "ExchangeResult",
+    "ExchangeView",
+    "Exchanger",
+    "LayoutExchanger",
+    "LocalDomainGrid",
+    "MPITypesExchanger",
+    "RankDomainGrid",
+    "MemMapExchanger",
+    "MessageSpec",
+    "PackExchanger",
+    "ShiftExchanger",
+    "array_schedule",
+    "basic_brick_schedule",
+    "brick_recv_schedule",
+    "brick_send_schedule",
+    "memmap_schedule",
+    "shift_schedule",
+    "neighbor_recv_box",
+    "neighbor_send_box",
+]

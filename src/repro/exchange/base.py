@@ -1,0 +1,99 @@
+"""Exchanger interface and shared modelled-timing helpers.
+
+Every exchanger really moves the data (over :mod:`repro.simmpi`) *and*
+returns a modelled :class:`~repro.util.timing.TimeBreakdown` for the
+exchange, split into the artifact's phases: ``pack`` (on-node copies the
+scheme performs), ``call`` (posting MPI operations), ``wait`` (wire time
+plus any in-library processing) and ``move`` (explicit CPU-GPU staging,
+zero on CPU paths).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exchange.schedule import MessageSpec
+from repro.hardware.profiles import MachineProfile
+from repro.simmpi.comm import CartComm
+from repro.util.bitset import BitSet
+from repro.util.timing import TimeBreakdown
+
+__all__ = ["Exchanger", "ExchangeResult", "exchange_tag"]
+
+_MAX_RUNS_PER_NEIGHBOR = 4096
+
+
+def exchange_tag(slab_dir_index: int, run: int) -> int:
+    """Stable tag for (receiver's ghost-slab direction, run index)."""
+    if not 0 <= run < _MAX_RUNS_PER_NEIGHBOR:
+        raise ValueError(f"run index {run} out of range")
+    return slab_dir_index * _MAX_RUNS_PER_NEIGHBOR + run
+
+
+@dataclass
+class ExchangeResult:
+    """Outcome of one exchange: modelled times plus actual counters."""
+
+    breakdown: TimeBreakdown
+    messages_sent: int
+    messages_received: int
+    payload_bytes_sent: int
+    wire_bytes_sent: int
+
+    @property
+    def padding_fraction(self) -> float:
+        if self.payload_bytes_sent == 0:
+            return 0.0
+        return (
+            self.wire_bytes_sent - self.payload_bytes_sent
+        ) / self.payload_bytes_sent
+
+
+class Exchanger(abc.ABC):
+    """One rank's ghost-zone exchange engine.
+
+    Subclasses precompute their message plan at construction; ``exchange``
+    performs the data movement and returns an :class:`ExchangeResult`.
+    """
+
+    #: Name used by benchmark tables.
+    method = "abstract"
+
+    def __init__(self, comm: CartComm, profile: MachineProfile) -> None:
+        self.comm = comm
+        self.profile = profile
+
+    @abc.abstractmethod
+    def exchange(self) -> ExchangeResult:
+        """Run one ghost-zone exchange."""
+
+    @abc.abstractmethod
+    def send_specs(self) -> List[MessageSpec]:
+        """The modelled send schedule of this rank."""
+
+    # ------------------------------------------------------------------
+    # Shared modelled-time helpers (thin wrappers over exchange.costs)
+    # ------------------------------------------------------------------
+    def _network_times(
+        self, sends: Sequence[MessageSpec], recvs: Sequence[MessageSpec]
+    ) -> Tuple[float, float]:
+        """(call, wait) charged by the plain network model."""
+        from repro.exchange.costs import network_times
+
+        return network_times(self.profile.network, sends, recvs)
+
+    def _pack_cost(self, specs: Sequence[MessageSpec]) -> float:
+        """Application-level pack (or unpack) cost of a message batch."""
+        from repro.exchange.costs import pack_cost
+
+        return pack_cost(self.profile, specs)
+
+    def _datatype_cost(self, specs: Sequence[MessageSpec]) -> float:
+        """In-library derived-datatype processing cost of a batch."""
+        from repro.exchange.costs import datatype_cost
+
+        return datatype_cost(self.profile, specs)

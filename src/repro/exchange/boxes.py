@@ -1,0 +1,83 @@
+"""Surface/ghost boxes of a lexicographic extended array.
+
+The array-based baselines (Pack, MPI_Types, Shift) exchange one
+axis-aligned box per neighbor.  In an extended array of shape
+``(E_D + 2g, ..., E_1 + 2g)`` (numpy order), for neighbor direction ``T``:
+
+* the **send** box is the surface band of width ``g`` on side ``T_i`` for
+  constrained axes and the full owned span for free axes;
+* the **recv** box is the ghost band on side ``T_i`` for constrained axes
+  and the owned span for free axes.
+
+Send and recv boxes of opposite directions have equal shapes, which is
+what makes the one-box-per-neighbor exchange well-formed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.util.bitset import BitSet
+
+__all__ = ["neighbor_send_box", "neighbor_recv_box", "box_slices"]
+
+Box = Tuple[Tuple[int, ...], Tuple[int, ...]]  # (lo, extent), axis order 1..D
+
+
+def neighbor_send_box(
+    neighbor: BitSet, extent: Sequence[int], ghost: int
+) -> Box:
+    """Surface box (axis order 1..D, offsets into the extended array)."""
+    _check(neighbor, extent, ghost)
+    lo, ext = [], []
+    for axis, e in enumerate(extent):
+        d = neighbor.direction(axis + 1)
+        if d < 0:
+            lo.append(ghost)
+            ext.append(ghost)
+        elif d > 0:
+            lo.append(e)  # last g owned elements: [g + e - g, g + e)
+            ext.append(ghost)
+        else:
+            lo.append(ghost)
+            ext.append(e)
+    return tuple(lo), tuple(ext)
+
+
+def neighbor_recv_box(
+    neighbor: BitSet, extent: Sequence[int], ghost: int
+) -> Box:
+    """Ghost box receiving from ``N(neighbor)`` (axis order 1..D)."""
+    _check(neighbor, extent, ghost)
+    lo, ext = [], []
+    for axis, e in enumerate(extent):
+        d = neighbor.direction(axis + 1)
+        if d < 0:
+            lo.append(0)
+            ext.append(ghost)
+        elif d > 0:
+            lo.append(ghost + e)
+            ext.append(ghost)
+        else:
+            lo.append(ghost)
+            ext.append(e)
+    return tuple(lo), tuple(ext)
+
+
+def box_slices(box: Box) -> Tuple[slice, ...]:
+    """Numpy slices (axis D first) selecting *box* in an extended array."""
+    lo, ext = box
+    return tuple(
+        slice(l, l + e) for l, e in zip(reversed(lo), reversed(ext))
+    )
+
+
+def _check(neighbor: BitSet, extent: Sequence[int], ghost: int) -> None:
+    if not neighbor:
+        raise ValueError("the empty set is not a neighbor")
+    if ghost <= 0:
+        raise ValueError("ghost width must be positive")
+    if any(e < ghost for e in extent):
+        raise ValueError(
+            f"extent {tuple(extent)} smaller than the ghost width {ghost}"
+        )

@@ -1,0 +1,48 @@
+"""Shared modelled-cost functions over message schedules.
+
+Used by both the executed exchangers (to report per-exchange breakdowns)
+and the pure-modelled driver (to price arbitrary scales without
+allocating data), guaranteeing the two agree.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.exchange.schedule import MessageSpec
+from repro.hardware.network import NetworkModel
+from repro.hardware.profiles import MachineProfile
+
+__all__ = ["network_times", "pack_cost", "datatype_cost"]
+
+
+def network_times(
+    net: NetworkModel,
+    sends: Sequence[MessageSpec],
+    recvs: Sequence[MessageSpec],
+) -> Tuple[float, float]:
+    """``(call, wait)`` seconds for one bulk-synchronous exchange."""
+    call = net.call_time(len(sends), len(recvs))
+    wait = net.wait_time(
+        [m.wire_bytes for m in sends], [m.wire_bytes for m in recvs]
+    )
+    return call, wait
+
+
+def pack_cost(profile: MachineProfile, specs: Sequence[MessageSpec]) -> float:
+    """Application-level pack (or unpack) cost of one message batch."""
+    mem = profile.memory
+    total = profile.pack_launch_overhead if specs else 0.0
+    for m in specs:
+        total += mem.pack_time(m.payload_bytes, m.nsegments, m.run_elems)
+    return total
+
+
+def datatype_cost(profile: MachineProfile, specs: Sequence[MessageSpec]) -> float:
+    """In-library derived-datatype processing cost of one batch."""
+    total = 0.0
+    for m in specs:
+        total += profile.type_msg_overhead
+        total += m.payload_bytes / profile.type_engine_bw
+        total += m.nsegments * profile.memory.seg_overhead
+    return total

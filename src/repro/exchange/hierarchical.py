@@ -1,0 +1,320 @@
+"""Hierarchical exchange: many subdomains per rank, aliased where possible.
+
+Real deployments place several subdomains on one node (Summit runs 6
+ranks/GPUs per node).  Combining the paper's two ideas at both levels:
+
+* **intra-rank** neighbor halos are mmap *aliases* of the co-resident
+  neighbor's surface (zero copies, zero messages, zero physical ghost
+  memory -- :mod:`repro.exchange.local` taken across a whole machine);
+* **inter-rank** halos are exchanged MemMap-style: one message per
+  (subdomain, off-rank neighbor direction), sent straight out of the
+  shared arena through stitched views.
+
+Each rank owns a :class:`RankDomainGrid`: a block of ``local_dims``
+subdomains inside the global (periodic) grid of
+``rank_dims * local_dims`` subdomains.  Only the ghost subsections whose
+source subdomain lives on another rank get physical backing; the rest are
+aliases.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.brick.decomp import BrickDecomp, Section, SlotAssignment
+from repro.brick.info import direction_index
+from repro.brick.storage import BrickStorage
+from repro.hardware.profiles import MachineProfile, generic_host
+from repro.layout.messages import message_runs
+from repro.simmpi.comm import CartComm
+from repro.util.bitset import BitSet
+from repro.vmem import default_arena
+from repro.vmem.layout_plan import plan_view
+
+__all__ = ["RankDomainGrid"]
+
+_NDIR_TAG = 64
+
+
+def _tag(recv_local_index: int, slab_dir: int, run: int = 0) -> int:
+    return (recv_local_index * _NDIR_TAG + slab_dir) * 8 + run
+
+
+class RankDomainGrid:
+    """One rank's block of subdomains with two-level halo handling.
+
+    Parameters
+    ----------
+    cart:
+        Periodic Cartesian communicator over the ranks.
+    local_dims:
+        Subdomains per rank per axis (axis 1 first).
+    sub_extent, brick_dim, ghost, layout, dtype:
+        Per-subdomain decomposition, as for :class:`BrickDecomp`.
+    page_size, profile:
+        Mapping granularity and cost profile.
+    """
+
+    def __init__(
+        self,
+        cart: CartComm,
+        local_dims: Sequence[int],
+        sub_extent: Sequence[int],
+        brick_dim: Sequence[int],
+        ghost: int,
+        layout=None,
+        page_size: int = 4096,
+        dtype=np.float64,
+        profile: Optional[MachineProfile] = None,
+    ) -> None:
+        self.cart = cart
+        self.profile = profile or generic_host()
+        self.local_dims = tuple(int(d) for d in local_dims)
+        self.decomp = BrickDecomp(sub_extent, brick_dim, ghost, layout, dtype)
+        ndim = self.decomp.ndim
+        if len(self.local_dims) != ndim or len(cart.dims) != ndim:
+            raise ValueError("dimensionality mismatch")
+        self.page_size = int(page_size)
+        align = self.decomp.alignment_for_page(self.page_size)
+        self.assignment: SlotAssignment = self.decomp.assignment(align)
+        asn = self.assignment
+        bb = self.decomp.brick_bytes
+
+        self.nlocal = math.prod(self.local_dims)
+        ghost_starts = [s.start for s in asn.sections if s.kind == "ghost"]
+        self.owned_slots = min(ghost_starts) if ghost_starts else asn.total_slots
+        self.owned_bytes = self.owned_slots * bb
+
+        # ------------------------------------------------------------------
+        # Physical layout: per local domain, owned bytes followed by the
+        # padded ghost subsections whose source is OFF this rank.
+        # ------------------------------------------------------------------
+        #: per local domain: section -> physical byte offset (ghosts only)
+        self._phys_ghost: List[Dict[Tuple[BitSet, BitSet], int]] = []
+        self._domain_bytes: List[int] = []
+        self._domain_base: List[int] = []
+        cursor = 0
+        for idx in range(self.nlocal):
+            self._domain_base.append(cursor)
+            offset = self.owned_bytes
+            phys: Dict[Tuple[BitSet, BitSet], int] = {}
+            for sec in asn.sections:
+                if sec.kind != "ghost" or sec.padded_nbricks == 0:
+                    continue
+                rank, _ = self._neighbor_rank_local(idx, sec.neighbor)
+                if rank is not None:  # off-rank source: needs real backing
+                    phys[(sec.neighbor, sec.region)] = offset
+                    offset += sec.padded_nbricks * bb
+            self._phys_ghost.append(phys)
+            self._domain_bytes.append(offset)
+            cursor += offset
+
+        self.arena = default_arena(max(cursor, self.page_size), self.page_size)
+
+        # ------------------------------------------------------------------
+        # Stitched storage views: alias intra-rank, physical otherwise.
+        # ------------------------------------------------------------------
+        self._views = []
+        self.storages: List[BrickStorage] = []
+        for idx in range(self.nlocal):
+            chunks: List[Tuple[int, int]] = [
+                (self._domain_base[idx], self.owned_bytes)
+            ]
+            for sec in asn.sections:
+                if sec.kind != "ghost" or sec.padded_nbricks == 0:
+                    continue
+                length = sec.padded_nbricks * bb
+                rank, local = self._neighbor_rank_local(idx, sec.neighbor)
+                if rank is None:  # co-resident: alias the neighbor's surface
+                    src = asn.surface[sec.region]
+                    chunks.append(
+                        (self._domain_base[local] + src.start * bb, length)
+                    )
+                else:
+                    off = self._phys_ghost[idx][(sec.neighbor, sec.region)]
+                    chunks.append((self._domain_base[idx] + off, length))
+            view = self.arena.make_view(chunks)
+            self._views.append(view)
+            self.storages.append(
+                BrickStorage.from_view(
+                    view, asn.total_slots, self.decomp.brick_elems, dtype
+                )
+            )
+
+        self.info = self.decomp.brick_info(asn)
+        self.compute_slots = self.decomp.compute_slots(asn)
+        self._build_message_plan()
+
+    # ------------------------------------------------------------------
+    # Coordinates
+    # ------------------------------------------------------------------
+    def _local_coords(self, idx: int) -> Tuple[int, ...]:
+        out = []
+        for d in self.local_dims:
+            out.append(idx % d)
+            idx //= d
+        return tuple(out)
+
+    def _local_index(self, coords: Sequence[int]) -> int:
+        idx, stride = 0, 1
+        for c, d in zip(coords, self.local_dims):
+            idx += int(c) * stride
+            stride *= d
+        return idx
+
+    def _neighbor_rank_local(
+        self, idx: int, direction: BitSet
+    ) -> Tuple[Optional[int], Optional[int]]:
+        """(rank, local_index) of the subdomain one step from *idx*.
+
+        Returns ``(None, local)`` when the neighbor is on this rank, and
+        ``(rank, local)`` when it lives on the returned other rank.  The
+        global subdomain grid is periodic via the rank communicator.
+        """
+        ndim = self.decomp.ndim
+        vec = direction.to_vector(ndim)
+        lc = self._local_coords(idx)
+        rank_step = []
+        nlc = []
+        for c, v, d in zip(lc, vec, self.local_dims):
+            n = c + v
+            rank_step.append(n // d)  # floor: -1, 0, or +1
+            nlc.append(n % d)
+        local = self._local_index(nlc)
+        if not any(rank_step):
+            return None, local
+        rank = self.cart.neighbor_rank(rank_step)
+        if rank is None:  # pragma: no cover - periodic cart in practice
+            raise ValueError("open rank boundaries are not supported here")
+        return rank, local
+
+    # ------------------------------------------------------------------
+    # Inter-rank message plan (built once, reused every exchange)
+    # ------------------------------------------------------------------
+    def _build_message_plan(self) -> None:
+        asn = self.assignment
+        bb = self.decomp.brick_bytes
+        ndim = self.decomp.ndim
+        self._sends: List[dict] = []
+        self._recvs: List[dict] = []
+        for idx in range(self.nlocal):
+            for neighbor in self.decomp.layout:
+                rank, remote_local = self._neighbor_rank_local(idx, neighbor)
+                if rank is None:
+                    continue  # aliased intra-rank: no message
+                # Send: our surface regions covering this neighbor, padded.
+                send_ranges = []
+                for start, length in message_runs(self.decomp.layout, neighbor):
+                    for i in range(start, start + length):
+                        sec = asn.surface[self.decomp.layout[i]]
+                        if sec.nbricks:
+                            send_ranges.append(
+                                (
+                                    self._domain_base[idx] + sec.start * bb,
+                                    sec.nbricks * bb,
+                                )
+                            )
+                # Recv: our ghost slab facing this neighbor, physical chunks.
+                recv_ranges = []
+                opp = neighbor.opposite()
+                for start, length in message_runs(self.decomp.layout, opp):
+                    for i in range(start, start + length):
+                        sec = asn.ghost[(neighbor, self.decomp.layout[i])]
+                        if sec.nbricks:
+                            off = self._phys_ghost[idx][(neighbor, sec.region)]
+                            recv_ranges.append(
+                                (
+                                    self._domain_base[idx] + off,
+                                    sec.nbricks * bb,
+                                )
+                            )
+                if not send_ranges:
+                    continue
+                send_plan = plan_view(send_ranges, self.page_size)
+                recv_plan = plan_view(recv_ranges, self.page_size)
+                dir_idx = direction_index(neighbor.to_vector(ndim))
+                opp_idx = direction_index(opp.to_vector(ndim))
+                self._sends.append(
+                    {
+                        "rank": rank,
+                        # the receiver names the slab by the direction it
+                        # sees us in, and by ITS local domain index
+                        "tag": _tag(remote_local, opp_idx),
+                        "view": self.arena.make_view(send_plan.chunks),
+                    }
+                )
+                self._recvs.append(
+                    {
+                        "rank": rank,
+                        "tag": _tag(idx, dir_idx),
+                        "view": self.arena.make_view(recv_plan.chunks),
+                    }
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def messages_per_exchange(self) -> int:
+        return len(self._sends)
+
+    @property
+    def zero_copy(self) -> bool:
+        return bool(self._views) and self._views[0].zero_copy
+
+    def exchange(self) -> None:
+        """Inter-rank ghost exchange (intra-rank halos are always live)."""
+        reqs = []
+        for r in self._recvs:
+            reqs.append(self.cart.Irecv(r["view"].array(), r["rank"], r["tag"]))
+        for s in self._sends:
+            s["view"].refresh()
+            reqs.append(self.cart.Isend(s["view"].array(), s["rank"], s["tag"]))
+        self.cart.Waitall(reqs)
+        for r in self._recvs:
+            r["view"].flush()
+        self.sync()
+
+    def flush_owned(self) -> None:
+        """Write each domain's owned slots back to the arena (sim only)."""
+        for view in self._views:
+            view.flush(up_to_bytes=self.owned_bytes)
+
+    def sync(self) -> None:
+        """Re-read every domain view from the arena (sim only)."""
+        for view in self._views:
+            view.refresh()
+
+    # ------------------------------------------------------------------
+    def load_owned(self, idx: int, owned_block: np.ndarray, fld: int = 0) -> None:
+        """Write one subdomain's owned elements (numpy-ordered block)."""
+        from repro.brick.convert import element_permutation
+        from repro.stencil.kernels import owned_slices
+
+        sub = self.decomp.extent
+        own = owned_slices(sub, self.decomp.ghost_elems)
+        perm = element_permutation(self.decomp, self.assignment, fld)[own]
+        self.storages[idx].data.reshape(-1)[perm.reshape(-1)] = (
+            owned_block.astype(self.decomp.dtype).reshape(-1)
+        )
+
+    def extract_owned(self, idx: int, fld: int = 0) -> np.ndarray:
+        """Read one subdomain's owned elements (numpy-ordered block)."""
+        from repro.brick.convert import element_permutation
+        from repro.stencil.kernels import owned_slices
+
+        sub = self.decomp.extent
+        own = owned_slices(sub, self.decomp.ghost_elems)
+        perm = element_permutation(self.decomp, self.assignment, fld)[own]
+        return self.storages[idx].data.reshape(-1)[perm]
+
+    def close(self) -> None:
+        for coll in (self._sends, self._recvs):
+            for entry in coll:
+                entry["view"].close()
+        for view in self._views:
+            view.close()
+        self._views.clear()
+        self.storages.clear()
+        self.arena.close()

@@ -1,0 +1,120 @@
+"""MPI derived-datatype baseline: the library packs internally.
+
+Functionally identical to :class:`~repro.exchange.pack.PackExchanger` --
+one box per neighbor -- but the application never copies anything: it
+hands MPI a :class:`~repro.simmpi.datatypes.SubarrayType` describing each
+box, and the datatype engine does the gathering/scattering inside the
+``call``/``wait`` phases.  The paper finds this engine catastrophically
+slow on KNL (MemMap is "460x faster than MPI_Types"), which the profile's
+``type_msg_overhead``/``type_engine_bw`` constants model.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.brick.info import direction_index
+from repro.exchange.base import ExchangeResult, Exchanger, exchange_tag
+from repro.exchange.boxes import neighbor_recv_box, neighbor_send_box
+from repro.exchange.schedule import MessageSpec, array_schedule
+from repro.hardware.profiles import MachineProfile
+from repro.layout.regions import all_regions
+from repro.simmpi.comm import CartComm
+from repro.simmpi.datatypes import SubarrayType
+from repro.util.timing import TimeBreakdown
+
+__all__ = ["MPITypesExchanger"]
+
+
+class MPITypesExchanger(Exchanger):
+    """Derived-datatype exchange over a lexicographic extended array."""
+
+    method = "mpi_types"
+
+    def __init__(
+        self,
+        comm: CartComm,
+        array: np.ndarray,
+        extent: Sequence[int],
+        ghost: int,
+        profile: MachineProfile,
+    ) -> None:
+        super().__init__(comm, profile)
+        self.extent = tuple(int(e) for e in extent)
+        self.ghost = int(ghost)
+        ndim = len(self.extent)
+        expected = tuple(e + 2 * self.ghost for e in reversed(self.extent))
+        if array.shape != expected:
+            raise ValueError(
+                f"extended array shape {array.shape}, expected {expected}"
+            )
+        self.array = array
+        self._specs = array_schedule(self.extent, self.ghost, array.dtype.itemsize)
+
+        def subarray(box):
+            lo, ext = box
+            return SubarrayType(
+                shape=array.shape,
+                subshape=tuple(reversed(ext)),
+                start=tuple(reversed(lo)),
+            )
+
+        self._plan = []
+        for neighbor in all_regions(ndim):
+            rank = comm.neighbor_rank(neighbor.to_vector(ndim))
+            if rank is None:
+                continue  # non-periodic boundary: no partner, no message
+            send_t = subarray(neighbor_send_box(neighbor, self.extent, self.ghost))
+            recv_t = subarray(neighbor_recv_box(neighbor, self.extent, self.ghost))
+            self._plan.append(
+                {
+                    "neighbor": neighbor,
+                    "rank": rank,
+                    "send_type": send_t,
+                    "recv_type": recv_t,
+                    "send_tag": exchange_tag(
+                        direction_index(neighbor.opposite().to_vector(ndim)), 0
+                    ),
+                    "recv_tag": exchange_tag(
+                        direction_index(neighbor.to_vector(ndim)), 0
+                    ),
+                    "recv_buf": np.empty(recv_t.count, dtype=array.dtype),
+                }
+            )
+        planned = {p["neighbor"] for p in self._plan}
+        self._specs = [m for m in self._specs if m.neighbor in planned]
+
+    # ------------------------------------------------------------------
+    def send_specs(self) -> List[MessageSpec]:
+        return list(self._specs)
+
+    def exchange(self) -> ExchangeResult:
+        arr = self.array
+        reqs = []
+        for p in self._plan:
+            reqs.append(self.comm.Irecv(p["recv_buf"], p["rank"], p["recv_tag"]))
+        for p in self._plan:
+            # "Inside MPI": the datatype engine extracts the selection.
+            wire = p["send_type"].extract(arr)
+            reqs.append(self.comm.Isend(wire, p["rank"], p["send_tag"]))
+        self.comm.Waitall(reqs)
+        for p in self._plan:
+            p["recv_type"].insert(arr, p["recv_buf"])
+
+        breakdown = TimeBreakdown()
+        call, wait = self._network_times(self._specs, self._specs)
+        # Datatype processing happens on both the send and receive side,
+        # serialized on this rank's core, inside the MPI library.
+        wait += 2 * self._datatype_cost(self._specs)
+        breakdown.charge("call", call)
+        breakdown.charge("wait", wait)
+        sent = sum(m.wire_bytes for m in self._specs)
+        return ExchangeResult(
+            breakdown,
+            messages_sent=len(self._specs),
+            messages_received=len(self._specs),
+            payload_bytes_sent=sum(m.payload_bytes for m in self._specs),
+            wire_bytes_sent=sent,
+        )

@@ -1,0 +1,107 @@
+"""Simulated GPU device: memory spaces and residency tracking.
+
+A :class:`SimDevice` owns "device memory" (plain host NumPy arrays tagged
+as device-resident) and tracks, per :class:`DeviceBuffer`, which side last
+touched each page -- the state the Unified-Memory cost model needs to
+decide whether an access faults.  Computation on device buffers is just
+NumPy (correctness path); only the cost models distinguish the spaces.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.hardware.gpu import GpuModel
+from repro.util.indexing import ceil_div
+
+__all__ = ["SimDevice", "DeviceBuffer", "Residency"]
+
+
+class Residency(enum.Enum):
+    """Which side currently holds a page of managed memory."""
+
+    HOST = "host"
+    DEVICE = "device"
+
+
+class DeviceBuffer:
+    """A page-tracked allocation usable from both sides.
+
+    ``kind`` is ``"device"`` (cudaMalloc: device-only, no UM, no MemMap)
+    or ``"managed"`` (UM/ATS: page-migrated on demand).
+    """
+
+    def __init__(
+        self, device: "SimDevice", nbytes: int, kind: str = "managed"
+    ) -> None:
+        if kind not in ("device", "managed"):
+            raise ValueError(f"kind must be 'device' or 'managed', got {kind!r}")
+        if nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+        self.device = device
+        self.kind = kind
+        self.nbytes = int(nbytes)
+        self.npages = ceil_div(self.nbytes, device.model.page_size)
+        self.data = np.zeros(self.nbytes, dtype=np.uint8)
+        init = Residency.DEVICE if kind == "device" else Residency.HOST
+        self._residency = np.full(self.npages, init == Residency.DEVICE, dtype=bool)
+
+    # ------------------------------------------------------------------
+    def _page_range(self, offset: int, nbytes: int) -> slice:
+        page = self.device.model.page_size
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.nbytes:
+            raise ValueError(
+                f"range ({offset}, {nbytes}) outside buffer of {self.nbytes}"
+            )
+        return slice(offset // page, ceil_div(offset + nbytes, page))
+
+    def touch(self, side: Residency, offset: int = 0, nbytes: Optional[int] = None) -> float:
+        """Access a byte range from *side*; returns the modelled fault cost.
+
+        For ``device`` buffers host access is an error (that is the whole
+        point of CUDA-aware MPI).  For managed buffers, pages resident on
+        the other side fault and migrate.
+        """
+        nbytes = self.nbytes - offset if nbytes is None else nbytes
+        if nbytes == 0:
+            return 0.0
+        if self.kind == "device":
+            if side == Residency.HOST:
+                raise RuntimeError(
+                    "host access to cudaMalloc memory; stage explicitly or"
+                    " use CUDA-aware MPI"
+                )
+            return 0.0
+        pages = self._page_range(offset, nbytes)
+        want_dev = side == Residency.DEVICE
+        faulting = int(np.count_nonzero(self._residency[pages] != want_dev))
+        self._residency[pages] = want_dev
+        if faulting == 0:
+            return 0.0
+        model = self.device.model
+        moved = faulting * model.page_size
+        return faulting * model.fault_overhead + moved / model.um_bw
+
+    def resident_fraction(self, side: Residency) -> float:
+        want_dev = side == Residency.DEVICE
+        return float(np.count_nonzero(self._residency == want_dev)) / self.npages
+
+
+class SimDevice:
+    """One simulated GPU."""
+
+    def __init__(self, model: Optional[GpuModel] = None) -> None:
+        self.model = model or GpuModel()
+        self.buffers: Dict[int, DeviceBuffer] = {}
+
+    def alloc(self, nbytes: int, kind: str = "managed") -> DeviceBuffer:
+        buf = DeviceBuffer(self, nbytes, kind)
+        self.buffers[id(buf)] = buf
+        return buf
+
+    def memcpy_time(self, nbytes: int, ncopies: int = 1) -> float:
+        """Modelled explicit cudaMemcpy cost (either direction)."""
+        return self.model.staged_copy_time(nbytes, ncopies)

@@ -1,0 +1,36 @@
+"""Hardware cost models and machine profiles.
+
+Every figure in the paper was produced on one of two machines (Section 2):
+
+* **Theta**: Cray XC40, Intel Xeon Phi KNL 7230 per node, Aries dragonfly.
+* **Summit**: IBM AC922, 6x NVIDIA V100 per node, EDR InfiniBand fat-tree.
+
+Neither is available here, so the benchmark harness charges all data
+movement to the analytic models in this package (DESIGN.md Section 2).  The
+models are deliberately simple -- LogGP-style networks, STREAM-with-penalty
+memories, roofline compute -- because the paper's claims are about *which
+data-movement terms each scheme pays*, not about micro-architecture.
+"""
+
+from repro.hardware.compute import ComputeModel
+from repro.hardware.gpu import GpuModel
+from repro.hardware.memory import AccessPattern, MemoryModel
+from repro.hardware.network import NetworkModel
+from repro.hardware.profiles import (
+    MachineProfile,
+    generic_host,
+    summit_v100,
+    theta_knl,
+)
+
+__all__ = [
+    "AccessPattern",
+    "ComputeModel",
+    "GpuModel",
+    "MachineProfile",
+    "MemoryModel",
+    "NetworkModel",
+    "generic_host",
+    "summit_v100",
+    "theta_knl",
+]

@@ -1,0 +1,69 @@
+"""Roofline compute model plus parallelization overhead.
+
+Stencil time per rank is ``max(flops / peak, bytes / bandwidth)`` -- the
+Roofline model the paper itself uses to frame arithmetic intensity
+(Section 7: the 7-point stencil at AI 8/16 flop/byte is bandwidth-bound; the
+125-point stencil at 139/16 approaches compute-bound).
+
+Figure 10 additionally shows that YASK's *two-level* OpenMP schedule is
+"inefficient for small subdomains" while the brick code uses a cheaper
+one-level schedule that is slightly worse on large boxes; we model that as a
+fixed per-timestep parallelization overhead plus an efficiency factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ComputeModel"]
+
+
+@dataclass(frozen=True)
+class ComputeModel:
+    """Node-level compute capability.
+
+    Parameters
+    ----------
+    peak_flops:
+        Sustained double-precision flop/s of the node (or device).
+    mem_bw:
+        Bandwidth (bytes/s) feeding the compute -- MCDRAM or HBM.
+    parallel_overhead:
+        Fixed seconds per parallel region launch (per timestep).
+    efficiency:
+        Fraction of the roofline actually achieved by the kernel.
+    """
+
+    peak_flops: float
+    mem_bw: float
+    parallel_overhead: float = 0.0
+    efficiency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0 or self.mem_bw <= 0:
+            raise ValueError("peak_flops and mem_bw must be positive")
+        if not 0 < self.efficiency <= 1:
+            raise ValueError("efficiency must be in (0, 1]")
+
+    def stencil_time(
+        self, points: int, flops_per_point: float, bytes_per_point: float
+    ) -> float:
+        """Roofline time for applying a stencil to *points* grid points."""
+        if points < 0:
+            raise ValueError("points cannot be negative")
+        if points == 0:
+            return self.parallel_overhead
+        flop_time = points * flops_per_point / self.peak_flops
+        mem_time = points * bytes_per_point / self.mem_bw
+        return self.parallel_overhead + max(flop_time, mem_time) / self.efficiency
+
+    def with_overhead(self, parallel_overhead: float) -> "ComputeModel":
+        """Copy of this model with a different per-timestep launch cost."""
+        return ComputeModel(
+            self.peak_flops, self.mem_bw, parallel_overhead, self.efficiency
+        )
+
+    def with_efficiency(self, efficiency: float) -> "ComputeModel":
+        return ComputeModel(
+            self.peak_flops, self.mem_bw, self.parallel_overhead, efficiency
+        )

@@ -1,0 +1,100 @@
+"""On-node memory model: STREAM bandwidth with access-pattern penalties.
+
+Packing a surface region touches memory in one of three patterns (paper,
+Section 1): **unit-stride** (a face normal to the slowest axis), **stanza**
+(short contiguous runs separated by jumps -- faces normal to middle axes),
+and **strided** (single elements separated by a full row -- faces normal to
+the unit-stride axis).  These patterns "fight against the hardware trends in
+SIMD", so each carries a bandwidth-derating factor.
+
+A pack or unpack of ``nbytes`` split into ``nsegments`` contiguous runs costs
+
+``seg_overhead * nsegments + nbytes * 2 / (stream_bw * derate(pattern))``
+
+(the factor 2: packing reads the source and writes the buffer).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+__all__ = ["AccessPattern", "MemoryModel"]
+
+
+class AccessPattern(enum.Enum):
+    """Memory access shape of a pack/unpack loop."""
+
+    UNIT = "unit"        # one long contiguous run
+    STANZA = "stanza"    # runs of tens-to-hundreds of elements
+    STRIDED = "strided"  # runs of a handful of elements
+
+    @classmethod
+    def classify(cls, run_elems: int) -> "AccessPattern":
+        """Pick a pattern from the length of contiguous runs, in elements."""
+        if run_elems >= 4096:
+            return cls.UNIT
+        if run_elems >= 32:
+            return cls.STANZA
+        return cls.STRIDED
+
+
+_DEFAULT_DERATE: Dict[AccessPattern, float] = {
+    AccessPattern.UNIT: 1.0,
+    AccessPattern.STANZA: 0.45,
+    AccessPattern.STRIDED: 0.12,
+}
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Host memory subsystem.
+
+    Parameters
+    ----------
+    stream_bw:
+        Sustainable copy bandwidth in bytes/second (e.g. 467 GB/s MCDRAM).
+    seg_overhead:
+        Fixed cost per contiguous segment of a pack loop (loop/TLB startup).
+    latency:
+        Single-access memory latency (used for pointer-chasing estimates).
+    derate:
+        Bandwidth fraction achieved per access pattern.
+    """
+
+    stream_bw: float
+    seg_overhead: float = 20e-9
+    latency: float = 120e-9
+    derate: Mapping[AccessPattern, float] = field(
+        default_factory=lambda: dict(_DEFAULT_DERATE)
+    )
+
+    def __post_init__(self) -> None:
+        if self.stream_bw <= 0:
+            raise ValueError("stream_bw must be positive")
+        for p, f in self.derate.items():
+            if not 0 < f <= 1:
+                raise ValueError(f"derate for {p} must be in (0, 1], got {f}")
+
+    # ------------------------------------------------------------------
+    def copy_time(self, nbytes: int, pattern: AccessPattern = AccessPattern.UNIT) -> float:
+        """Time to move *nbytes* once (read + write) at the pattern's bw."""
+        if nbytes < 0:
+            raise ValueError("nbytes cannot be negative")
+        bw = self.stream_bw * self.derate[pattern]
+        return 2.0 * nbytes / bw
+
+    def pack_time(self, nbytes: int, nsegments: int, run_elems: int, itemsize: int = 8) -> float:
+        """Cost of packing *nbytes* arranged as *nsegments* runs.
+
+        ``run_elems`` is the typical contiguous run length in elements and
+        selects the access pattern; *itemsize* converts it for sanity checks
+        only.
+        """
+        if nsegments < 0:
+            raise ValueError("nsegments cannot be negative")
+        if nbytes == 0 or nsegments == 0:
+            return 0.0
+        pattern = AccessPattern.classify(run_elems)
+        return self.seg_overhead * nsegments + self.copy_time(nbytes, pattern)

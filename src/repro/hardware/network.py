@@ -1,0 +1,109 @@
+"""LogGP-style network cost model.
+
+A point-to-point message of ``n`` bytes costs
+
+``alpha + n / bw_eff(n)``        (wire time)
+
+where the effective bandwidth ramps up with message size following the
+classic half-bandwidth-point rule ``bw_eff(n) = bw_peak * n / (n + n_half)``.
+Posting the operation additionally costs CPU *overhead* seconds (charged to
+the artifact's ``call`` phase); wire time is charged to ``wait``.
+
+Rationale (DESIGN.md Section 2): the paper's Figure 9 shows communication
+time flattening for small subdomains -- "constrained more by communication
+startup time than network bandwidth".  An alpha term per message plus a
+bandwidth term per byte reproduces exactly that knee, and the per-message
+``alpha``/``overhead`` split is why Layout (42 messages) trails MemMap (26)
+slightly at small sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["NetworkModel"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Analytic point-to-point network.
+
+    Parameters
+    ----------
+    alpha:
+        Per-message wire latency in seconds.
+    bw_peak:
+        Asymptotic injection bandwidth per rank, bytes/second.
+    n_half:
+        Message size (bytes) at which half of ``bw_peak`` is achieved.
+    overhead_send, overhead_recv:
+        CPU cost (seconds) of posting one Isend / Irecv (``call`` phase).
+    injection_serial:
+        If True, wire times of concurrent messages from one rank serialize
+        on the NIC (bandwidth shared); latency still overlaps.
+    """
+
+    alpha: float
+    bw_peak: float
+    n_half: float
+    overhead_send: float
+    overhead_recv: float
+    injection_serial: bool = True
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0 or self.bw_peak <= 0 or self.n_half < 0:
+            raise ValueError("network parameters must be positive")
+
+    # ------------------------------------------------------------------
+    def effective_bandwidth(self, nbytes: int) -> float:
+        """Achieved bandwidth (bytes/s) for an *nbytes* message."""
+        if nbytes <= 0:
+            return self.bw_peak
+        return self.bw_peak * nbytes / (nbytes + self.n_half)
+
+    def wire_time(self, nbytes: int) -> float:
+        """Latency + serialization time of one message."""
+        if nbytes < 0:
+            raise ValueError("message size cannot be negative")
+        if nbytes == 0:
+            return self.alpha
+        return self.alpha + nbytes / self.effective_bandwidth(nbytes)
+
+    # ------------------------------------------------------------------
+    def call_time(self, n_sends: int, n_recvs: int) -> float:
+        """CPU time to post a batch of nonblocking operations."""
+        return n_sends * self.overhead_send + n_recvs * self.overhead_recv
+
+    def wait_time(self, send_sizes: Iterable[int], recv_sizes: Iterable[int]) -> float:
+        """Time until all messages of one bulk-synchronous exchange complete.
+
+        Under ``injection_serial`` the per-byte terms of all sends serialize
+        on the sender NIC; receives are assumed to arrive concurrently from
+        distinct peers and overlap with the sends (full duplex), so the
+        exchange completes at ``max(send stream, recv stream)`` plus one
+        latency.  This matches how the paper measures ``wait``: a single
+        ``MPI_Waitall`` after posting everything.
+        """
+        sends = [int(s) for s in send_sizes]
+        recvs = [int(s) for s in recv_sizes]
+        if not sends and not recvs:
+            return 0.0
+        if self.injection_serial:
+            send_stream = sum(
+                s / self.effective_bandwidth(s) for s in sends if s > 0
+            )
+            recv_stream = sum(
+                s / self.effective_bandwidth(s) for s in recvs if s > 0
+            )
+            return self.alpha + max(send_stream, recv_stream)
+        # Fully concurrent: the slowest single message gates completion.
+        return max(self.wire_time(s) for s in sends + recvs)
+
+    def exchange_time(
+        self, send_sizes: Iterable[int], recv_sizes: Iterable[int]
+    ) -> float:
+        """call + wait for one full ghost-zone exchange (convenience)."""
+        sends = list(send_sizes)
+        recvs = list(recv_sizes)
+        return self.call_time(len(sends), len(recvs)) + self.wait_time(sends, recvs)

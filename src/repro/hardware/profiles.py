@@ -1,0 +1,221 @@
+"""Machine profiles: Theta (KNL), Summit (V100) and a generic host.
+
+Each profile bundles the network, memory, compute and (optionally) GPU
+models with a handful of engine-specific calibration constants.  Absolute
+constants were calibrated so the *shape* of the paper's figures is
+reproduced (see EXPERIMENTS.md); the provenance of each number is noted
+inline.  None of them is used by the correctness paths -- only by the
+modelled-time benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.hardware.compute import ComputeModel
+from repro.hardware.gpu import GpuModel
+from repro.hardware.memory import AccessPattern, MemoryModel
+from repro.hardware.network import NetworkModel
+
+__all__ = ["MachineProfile", "theta_knl", "summit_v100", "generic_host"]
+
+
+@dataclass(frozen=True)
+class MachineProfile:
+    """Everything the modelled-time driver needs to know about a machine.
+
+    Parameters beyond the four sub-models:
+
+    page_size:
+        Host base page size in bytes (Theta/x86: 4 KiB; Summit/Power9:
+        64 KiB) -- controls MemMap padding.
+    mmap_limit:
+        Default ``vm.max_map_count`` (65530 on Linux) -- MemMap must stay
+        under this many mappings per process.
+    type_msg_overhead / type_engine_bw:
+        MPI derived-datatype engine: fixed per-message datatype-processing
+        cost, and the (interpretive, non-vectorized) streaming bandwidth of
+        the pack loop inside the MPI library.  Calibrated so MPI_Types sits
+        ~2 orders of magnitude above MemMap at small subdomains on KNL
+        (paper: up to 460x) and ~10x at 512^3 (Fig. 9).
+    pack_launch_overhead:
+        Per pack/unpack phase parallel-region launch cost for the
+        application-level packing baseline (YASK-like).
+    yask_compute / brick_compute:
+        Separate compute models: YASK's autotuned two-level schedule is a
+        little more efficient on large boxes but pays a larger per-timestep
+        launch overhead (Fig. 10 discussion).
+    """
+
+    name: str
+    network: NetworkModel
+    memory: MemoryModel
+    compute: ComputeModel
+    page_size: int
+    mmap_limit: int = 65530
+    gpu: Optional[GpuModel] = None
+    type_msg_overhead: float = 0.0
+    type_engine_bw: float = 1e9
+    pack_launch_overhead: float = 0.0
+    yask_compute: Optional[ComputeModel] = None
+    brick_compute: Optional[ComputeModel] = None
+
+    def __post_init__(self) -> None:
+        if self.page_size <= 0 or self.mmap_limit <= 0:
+            raise ValueError("page_size and mmap_limit must be positive")
+        if self.type_engine_bw <= 0:
+            raise ValueError("type_engine_bw must be positive")
+        # Fall back to the generic compute model where a specialised one
+        # was not supplied.
+        if self.yask_compute is None:
+            object.__setattr__(self, "yask_compute", self.compute)
+        if self.brick_compute is None:
+            object.__setattr__(self, "brick_compute", self.compute)
+
+    def with_page_size(self, page_size: int) -> "MachineProfile":
+        """Copy of this profile with a different base page size (Fig. 18)."""
+        return replace(self, page_size=page_size)
+
+
+def theta_knl() -> MachineProfile:
+    """Cray XC40 node: KNL 7230, MCDRAM flat mode, Aries dragonfly.
+
+    Provenance of constants:
+
+    * compute 2.2 Tflop/s sustained, MCDRAM STREAM 467 GB/s: paper Section 2.
+    * Aries: ~3 us small-message latency, ~8 GB/s practical per-node
+      injection (11.7 GB/s peak), half-bandwidth near 16 KiB: public Aries
+      microbenchmarks; reproduces the Fig. 9 startup-time knee.
+    * 2 us per posted operation: KNL's slow serial core; 26 sends + 26
+      recvs then give MemMap its ~0.1 ms floor, matching Fig. 9.
+    * datatype engine 1.5 GB/s + 1.2 ms/message: interpretive per-element
+      processing on a 1.1-1.5 GHz core; yields MPI_Types ~30 ms flat at
+      small N (~2.5 orders above MemMap, cf. the paper's 460x) and
+      ~200 ms at 512^3.
+    * pack pattern bandwidths (unit 0.35 / stanza 0.14 / strided 0.045 of
+      STREAM): aggregate read+write throughput of OpenMP pack loops with
+      8-element stanzas on KNL; puts YASK ~4x over MemMap at 512^3 and
+      ~14x at 16^3 (Figs. 1, 9).
+    """
+    memory = MemoryModel(
+        stream_bw=467e9,
+        seg_overhead=25e-9,  # KNL per gather-loop trip (short strided runs)
+        latency=150e-9,
+        derate={
+            AccessPattern.UNIT: 0.35,
+            AccessPattern.STANZA: 0.14,
+            AccessPattern.STRIDED: 0.045,
+        },
+    )
+    network = NetworkModel(
+        alpha=3e-6,
+        bw_peak=8e9,
+        n_half=16 * 1024,
+        overhead_send=0.75e-6,
+        overhead_recv=0.75e-6,
+    )
+    compute = ComputeModel(peak_flops=2.2e12, mem_bw=467e9, efficiency=0.8)
+    return MachineProfile(
+        name="theta-knl",
+        network=network,
+        memory=memory,
+        compute=compute,
+        page_size=4 * 1024,
+        type_msg_overhead=1.2e-3,
+        type_engine_bw=1.5e9,
+        pack_launch_overhead=300e-6,
+        yask_compute=compute.with_efficiency(0.9).with_overhead(150e-6),
+        brick_compute=compute.with_efficiency(0.8).with_overhead(20e-6),
+    )
+
+
+def summit_v100() -> MachineProfile:
+    """IBM AC922 node: 6x V100, Power9 hosts, dual-rail EDR InfiniBand.
+
+    Provenance:
+
+    * V100 HBM 828.8 GB/s / 7.8 Tflop/s: paper Section 2.
+    * NIC: LayoutCA tops out near 21 GB/s in Table 2 -> 23 GB/s peak with a
+      64 KiB half-bandwidth point reproduces the 16->4.7 GB/s droop for
+      small subdomains.
+    * Power9 page size 64 KiB: paper Sections 4/7.3.
+    * UM fault ~0.5 us/page (batched), migration 60 GB/s: NVLink2 + ATS; gives
+      MemMapUM its flat ~17 GB/s achieved bandwidth (Table 2).
+    * datatype engine 5 GB/s + 0.1 ms/message on the Power9 host gives
+      MPI_TypesUM ~10x LayoutCA at 512^3 (Fig. 14) and ~10x at the V2
+      strong-scaling limit (paper: 5.8x).
+    """
+    memory = MemoryModel(
+        stream_bw=135e9,  # Power9 host STREAM (per socket) -- staging path
+        seg_overhead=25e-9,
+        latency=110e-9,
+        derate={
+            AccessPattern.UNIT: 0.5,
+            AccessPattern.STANZA: 0.25,
+            AccessPattern.STRIDED: 0.08,
+        },
+    )
+    network = NetworkModel(
+        alpha=1.5e-6,
+        bw_peak=23e9,
+        n_half=64 * 1024,
+        overhead_send=1e-6,
+        overhead_recv=1e-6,
+    )
+    gpu = GpuModel(
+        hbm_bw=828.8e9,
+        peak_flops=7.8e12,
+        host_link_bw=50e9,
+        host_link_latency=10e-6,
+        rdma_efficiency=0.95,
+        page_size=64 * 1024,
+        fault_overhead=0.5e-6,
+        um_bw=60e9,
+    )
+    compute = ComputeModel(peak_flops=7.8e12, mem_bw=828.8e9, efficiency=0.75)
+    return MachineProfile(
+        name="summit-v100",
+        network=network,
+        memory=memory,
+        compute=compute,
+        page_size=64 * 1024,
+        gpu=gpu,
+        type_msg_overhead=0.1e-3,
+        type_engine_bw=5e9,
+        pack_launch_overhead=30e-6,
+        yask_compute=compute,
+        brick_compute=compute,
+    )
+
+
+def generic_host() -> MachineProfile:
+    """A contemporary x86 server; used by examples and quick tests."""
+    memory = MemoryModel(
+        stream_bw=100e9,
+        seg_overhead=20e-9,
+        latency=90e-9,
+        derate={
+            AccessPattern.UNIT: 0.6,
+            AccessPattern.STANZA: 0.3,
+            AccessPattern.STRIDED: 0.1,
+        },
+    )
+    network = NetworkModel(
+        alpha=1.5e-6,
+        bw_peak=12e9,
+        n_half=32 * 1024,
+        overhead_send=0.5e-6,
+        overhead_recv=0.5e-6,
+    )
+    compute = ComputeModel(peak_flops=1.5e12, mem_bw=100e9, efficiency=0.8)
+    return MachineProfile(
+        name="generic-host",
+        network=network,
+        memory=memory,
+        compute=compute,
+        page_size=4 * 1024,
+        type_msg_overhead=0.2e-3,
+        type_engine_bw=4e9,
+        pack_launch_overhead=10e-6,
+    )

@@ -1,0 +1,58 @@
+"""Layout optimization for communication (paper Section 3).
+
+A ``D``-dimensional subdomain has ``3^D - 1`` surface regions and as many
+ghost regions and neighbors, each named by a :class:`~repro.util.BitSet` of
+signed axes.  Surface region ``r(S)`` must be sent to every neighbor
+``N(T)`` with non-empty ``T`` a subset of ``S``.  Choosing the *physical
+order* in which regions are stored decides how many contiguous messages the
+exchange needs:
+
+* ``Basic`` -- one message per (region, neighbor) pair: ``5^D - 3^D``.
+* optimal ``Layout`` -- ``5^D/3 + (-1)^D/6 + 1/2`` messages (Eq. 1).
+* full packing -- one per neighbor: ``3^D - 1``.
+
+This package enumerates regions, counts messages for a given order,
+provides the paper's optimized ``surface2d``/``surface3d`` constants, and
+searches for optimal orders.
+"""
+
+from repro.layout.analysis import (
+    basic_message_count,
+    neighbor_count,
+    optimal_message_count,
+    table1,
+)
+from repro.layout.messages import message_runs, messages_for_order, runs_per_neighbor
+from repro.layout.order import (
+    SURFACE2D,
+    SURFACE3D,
+    basic_order,
+    grouped_order,
+    lexicographic_order,
+    surface_order,
+    validate_order,
+)
+from repro.layout.regions import all_neighbors, all_regions, receiving_neighbors
+from repro.layout.search import anneal_order, exhaustive_best_order
+
+__all__ = [
+    "SURFACE2D",
+    "SURFACE3D",
+    "all_neighbors",
+    "all_regions",
+    "anneal_order",
+    "basic_message_count",
+    "basic_order",
+    "exhaustive_best_order",
+    "grouped_order",
+    "lexicographic_order",
+    "message_runs",
+    "messages_for_order",
+    "neighbor_count",
+    "optimal_message_count",
+    "receiving_neighbors",
+    "runs_per_neighbor",
+    "surface_order",
+    "table1",
+    "validate_order",
+]

@@ -1,0 +1,72 @@
+"""Closed-form message-count analysis (paper Section 3.3, Table 1).
+
+Three regimes for one rank's sends per ghost-zone exchange in ``D``
+dimensions:
+
+* ``neighbor_count``  (Eq. 2): full packing, one message per neighbor:
+  ``3^D - 1``.
+* ``optimal_message_count`` (Eq. 1): the lower bound achievable by layout
+  optimization: ``5^D / 3 + (-1)^D / 6 + 1/2``.
+* ``basic_message_count`` (Eq. 3): one message per (region, neighbor)
+  pair: ``5^D - 3^D``.
+
+Layout optimization can save at most ~2/3 of Basic's messages
+asymptotically, and its advantage over packing shrinks as ``D`` grows --
+"most effective when dimension is less than 5".
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List
+
+__all__ = [
+    "neighbor_count",
+    "optimal_message_count",
+    "basic_message_count",
+    "table1",
+]
+
+
+def neighbor_count(ndim: int) -> int:
+    """Eq. 2: number of neighbors, ``3^D - 1``."""
+    _check(ndim)
+    return 3**ndim - 1
+
+
+def optimal_message_count(ndim: int) -> int:
+    """Eq. 1: minimal sends with layout optimization.
+
+    ``5^D / 3 + (-1)^D / 6 + 1/2`` -- always an integer for ``D >= 1``.
+    """
+    _check(ndim)
+    value = (
+        Fraction(5**ndim, 3)
+        + Fraction((-1) ** ndim, 6)
+        + Fraction(1, 2)
+    )
+    if value.denominator != 1:
+        raise AssertionError(f"Eq. 1 did not yield an integer for D={ndim}")
+    return int(value)
+
+
+def basic_message_count(ndim: int) -> int:
+    """Eq. 3: sends with one message per (region, neighbor) pair."""
+    _check(ndim)
+    return 5**ndim - 3**ndim
+
+
+def table1(max_dim: int = 5) -> Dict[str, List[int]]:
+    """Reproduce Table 1: counts for dimensions ``1 .. max_dim``."""
+    dims = list(range(1, max_dim + 1))
+    return {
+        "Dimensions": dims,
+        "Number of neighbors (Eq. 2)": [neighbor_count(d) for d in dims],
+        "Layout (Eq. 1)": [optimal_message_count(d) for d in dims],
+        "Basic (Eq. 3)": [basic_message_count(d) for d in dims],
+    }
+
+
+def _check(ndim: int) -> None:
+    if ndim < 1:
+        raise ValueError(f"ndim must be >= 1, got {ndim}")

@@ -1,0 +1,51 @@
+"""Message counting for a given region order.
+
+Given a physical order of the surface regions, the regions destined for one
+neighbor occupy a set of positions; each *maximal contiguous run* of those
+positions can be sent as a single message (the storage is linear, so runs do
+not wrap around).  The total message count of a layout is the sum of run
+counts over all neighbors -- the quantity Eq. 1 lower-bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.layout.regions import all_neighbors
+from repro.util.bitset import BitSet
+
+__all__ = ["message_runs", "runs_per_neighbor", "messages_for_order"]
+
+
+def message_runs(order: Sequence[BitSet], neighbor: BitSet) -> List[Tuple[int, int]]:
+    """Maximal contiguous runs of *neighbor*'s regions within *order*.
+
+    Returns ``(start, length)`` pairs in region-position units.  Every
+    region ``S`` with ``neighbor`` a subset of ``S`` is included.
+    """
+    if not neighbor:
+        raise ValueError("the empty set names the interior, not a neighbor")
+    runs: List[Tuple[int, int]] = []
+    start = None
+    for pos, region in enumerate(order):
+        if neighbor.issubset(region):
+            if start is None:
+                start = pos
+        elif start is not None:
+            runs.append((start, pos - start))
+            start = None
+    if start is not None:
+        runs.append((start, len(order) - start))
+    return runs
+
+
+def runs_per_neighbor(
+    order: Sequence[BitSet], ndim: int
+) -> Dict[BitSet, List[Tuple[int, int]]]:
+    """Map every neighbor to its message runs under *order*."""
+    return {t: message_runs(order, t) for t in all_neighbors(ndim)}
+
+
+def messages_for_order(order: Sequence[BitSet], ndim: int) -> int:
+    """Total messages one rank *sends* per exchange under *order*."""
+    return sum(len(runs) for runs in runs_per_neighbor(order, ndim).values())

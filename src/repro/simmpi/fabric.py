@@ -1,0 +1,156 @@
+"""Message-matching fabric shared by all simulated ranks.
+
+The fabric is a thread-safe mailbox keyed ``(source, dest, tag)``.  An
+``Isend`` deposits a :class:`_SendEntry` holding a *reference* to the send
+buffer (no copy -- the wire copy happens exactly once, at match time, into
+the receive buffer).  A receive blocks until a matching entry exists, then
+copies and signals the sender's completion event.
+
+Statistics (message and byte counts) are recorded per rank; the modelled
+clocks use them and the tests assert on them.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["SimFabric", "FabricStats", "DeadlockError", "AbortedError"]
+
+#: Seconds an unmatched operation waits before declaring a deadlock.
+_DEADLOCK_TIMEOUT = 30.0
+
+
+class DeadlockError(RuntimeError):
+    """A receive found no matching send within the timeout."""
+
+
+@dataclass
+class FabricStats:
+    """Per-rank communication counters."""
+
+    sends: int = 0
+    recvs: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+
+class _SendEntry:
+    __slots__ = ("buf", "done")
+
+    def __init__(self, buf: np.ndarray) -> None:
+        self.buf = buf
+        self.done = threading.Event()
+
+
+class AbortedError(RuntimeError):
+    """Another rank failed; this operation was abandoned."""
+
+
+class SimFabric:
+    """The shared network of one SPMD run."""
+
+    def __init__(self, nranks: int) -> None:
+        if nranks <= 0:
+            raise ValueError("nranks must be positive")
+        self.nranks = nranks
+        self._lock = threading.Condition()
+        self._mailboxes: Dict[Tuple[int, int, int], Deque[_SendEntry]] = defaultdict(
+            deque
+        )
+        self.stats: List[FabricStats] = [FabricStats() for _ in range(nranks)]
+        self.barrier = threading.Barrier(nranks)
+        self._failed = False
+
+    # ------------------------------------------------------------------
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.nranks:
+            raise ValueError(f"rank {rank} outside communicator of {self.nranks}")
+
+    def post_send(self, src: int, dst: int, tag: int, buf: np.ndarray) -> _SendEntry:
+        """Deposit a send; returns the entry whose event marks completion."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        buf = np.ascontiguousarray(buf)
+        entry = _SendEntry(buf)
+        with self._lock:
+            self._mailboxes[(src, dst, tag)].append(entry)
+            self.stats[src].sends += 1
+            self.stats[src].bytes_sent += buf.nbytes
+            self._lock.notify_all()
+        return entry
+
+    def wait_send(self, entry: _SendEntry) -> None:
+        """Block until *entry* is consumed by its receiver.
+
+        Polls with a short timeout so an aborted run (another rank
+        raised) fails fast instead of hanging forever, and declares a
+        deadlock after the same timeout as receives.
+        """
+        waited = 0.0
+        while not entry.done.wait(timeout=0.1):
+            waited += 0.1
+            with self._lock:
+                if self._failed:
+                    raise AbortedError("another rank failed; abandoning send")
+            if waited >= _DEADLOCK_TIMEOUT:
+                self.abort()
+                raise DeadlockError(
+                    f"send unmatched after {_DEADLOCK_TIMEOUT}s"
+                )
+
+    def complete_recv(self, src: int, dst: int, tag: int, buf: np.ndarray) -> None:
+        """Block until a matching send exists, then copy it into *buf*."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        key = (src, dst, tag)
+        with self._lock:
+            deadline = _DEADLOCK_TIMEOUT
+            while not self._mailboxes.get(key):
+                if self._failed:
+                    raise AbortedError("another rank failed; aborting receive")
+                if not self._lock.wait(timeout=deadline):
+                    self._failed = True
+                    self._lock.notify_all()
+                    raise DeadlockError(
+                        f"rank {dst} waited {_DEADLOCK_TIMEOUT}s for message"
+                        f" (src={src}, tag={tag})"
+                    )
+            entry = self._mailboxes[key].popleft()
+        flat = buf.reshape(-1)
+        src_flat = entry.buf.reshape(-1).view(flat.dtype)
+        if src_flat.size != flat.size:
+            self.abort()
+            raise ValueError(
+                f"message size mismatch on (src={src}, dst={dst}, tag={tag}):"
+                f" sent {src_flat.size} elements, receiving {flat.size}"
+            )
+        flat[:] = src_flat  # the single wire copy
+        self.stats[dst].recvs += 1
+        self.stats[dst].bytes_received += buf.nbytes
+        entry.done.set()
+
+    def abort(self) -> None:
+        """Wake every waiter with a failure (used when one rank raises)."""
+        with self._lock:
+            self._failed = True
+            self._lock.notify_all()
+        self.barrier.abort()
+
+    @property
+    def pending_messages(self) -> int:
+        with self._lock:
+            return sum(len(q) for q in self._mailboxes.values())
+
+    def total_stats(self) -> FabricStats:
+        agg = FabricStats()
+        for s in self.stats:
+            agg.sends += s.sends
+            agg.recvs += s.recvs
+            agg.bytes_sent += s.bytes_sent
+            agg.bytes_received += s.bytes_received
+        return agg

@@ -1,0 +1,45 @@
+"""Reference implementation: global periodic-domain stencil via np.roll.
+
+The oracle for every distributed test: apply the stencil to the *entire*
+global domain with periodic boundary conditions, with no decomposition, no
+ghost zones and no communication.  ``np.roll`` implements the periodic
+shifts exactly, so any exchange + local-compute pipeline must reproduce
+this bit-for-bit (same dtype, same tap order).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.stencil.spec import StencilSpec
+
+__all__ = ["apply_periodic_reference"]
+
+
+def apply_periodic_reference(
+    grid: np.ndarray, spec: StencilSpec, steps: int = 1
+) -> np.ndarray:
+    """Apply *spec* to the global periodic *grid* for *steps* timesteps.
+
+    *grid* is in numpy axis order (axis D first, axis 1 last/fastest); tap
+    offsets are in axis order (axis 1 first) and are mapped accordingly.
+    A positive tap offset reads the neighbor in the positive direction,
+    i.e. contributes ``roll(grid, -offset)``.
+    """
+    if grid.ndim != spec.ndim:
+        raise ValueError(f"grid is {grid.ndim}-D, stencil is {spec.ndim}-D")
+    if steps < 0:
+        raise ValueError("steps cannot be negative")
+    cur = grid.astype(np.float64, copy=True)
+    for _ in range(steps):
+        acc: Optional[np.ndarray] = None
+        for off, coeff in spec.taps:
+            shifted = np.roll(
+                cur, shift=tuple(-o for o in reversed(off)), axis=tuple(range(cur.ndim))
+            )
+            term = coeff * shifted
+            acc = term if acc is None else acc + term
+        cur = acc
+    return cur

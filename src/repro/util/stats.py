@@ -1,0 +1,63 @@
+"""``[minimum, average, maximum]`` summaries matching the paper's artifact.
+
+The PPoPP artifact reports every per-timestep metric (``calc``, ``pack``,
+``call``, ``wait``) in the format ``[minimum, average, maximum]`` across MPI
+ranks; :class:`MinAvgMax` is that triple.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["MinAvgMax", "summarize", "geometric_mean"]
+
+
+@dataclass(frozen=True)
+class MinAvgMax:
+    """Minimum / average / maximum of a sample, plus its standard deviation."""
+
+    min: float
+    avg: float
+    max: float
+    std: float = 0.0
+    n: int = 1
+
+    def __format__(self, spec: str) -> str:
+        spec = spec or ".3g"
+        return (
+            f"[{self.min:{spec}}, {self.avg:{spec}}, {self.max:{spec}}]"
+            f" (sigma: {self.std:{spec}})"
+        )
+
+    def scaled(self, factor: float) -> "MinAvgMax":
+        """Return a copy with every field multiplied by *factor*."""
+        return MinAvgMax(
+            self.min * factor,
+            self.avg * factor,
+            self.max * factor,
+            self.std * abs(factor),
+            self.n,
+        )
+
+
+def summarize(values: Iterable[float]) -> MinAvgMax:
+    """Summarize a non-empty sample into a :class:`MinAvgMax`."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("cannot summarize an empty sample")
+    n = len(vals)
+    avg = sum(vals) / n
+    var = sum((v - avg) ** 2 for v in vals) / n
+    return MinAvgMax(min(vals), avg, max(vals), math.sqrt(var), n)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (speedup aggregation)."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("cannot take the geometric mean of an empty sample")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

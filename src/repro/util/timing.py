@@ -1,0 +1,121 @@
+"""Phase timers and the per-timestep time breakdown.
+
+Two notions of time coexist in this reproduction (see DESIGN.md Section 6):
+
+* *measured* wall-clock seconds, captured with :class:`PhaseTimer` around the
+  real in-process data movement, and
+* *modelled* virtual seconds, accumulated into a :class:`TimeBreakdown` by
+  the hardware cost models.
+
+Both use the same breakdown structure so the benchmark harness can print
+either interchangeably.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["PhaseTimer", "TimeBreakdown", "PHASES"]
+
+#: Canonical phase names, matching the paper artifact's metrics.
+PHASES = ("calc", "pack", "call", "wait", "move")
+
+
+@dataclass
+class TimeBreakdown:
+    """Per-timestep time split into the artifact's phases (seconds).
+
+    ``calc``: stencil computation (plus any communication-avoiding redundant
+    compute).  ``pack``: copying data into/out of message buffers -- the
+    on-node movement the paper eliminates.  ``call``: posting MPI operations.
+    ``wait``: completing them.  ``move``: explicit CPU<->GPU shuttling
+    (zero on CPU-only runs and for CUDA-aware / Unified-Memory paths).
+    """
+
+    calc: float = 0.0
+    pack: float = 0.0
+    call: float = 0.0
+    wait: float = 0.0
+    move: float = 0.0
+
+    @property
+    def comm(self) -> float:
+        """Total communication time: everything except computation."""
+        return self.pack + self.call + self.wait + self.move
+
+    @property
+    def total(self) -> float:
+        return self.calc + self.comm
+
+    def add(self, other: "TimeBreakdown") -> "TimeBreakdown":
+        return TimeBreakdown(
+            self.calc + other.calc,
+            self.pack + other.pack,
+            self.call + other.call,
+            self.wait + other.wait,
+            self.move + other.move,
+        )
+
+    def scaled(self, factor: float) -> "TimeBreakdown":
+        return TimeBreakdown(
+            self.calc * factor,
+            self.pack * factor,
+            self.call * factor,
+            self.wait * factor,
+            self.move * factor,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {p: getattr(self, p) for p in PHASES}
+
+    def charge(self, phase: str, seconds: float) -> None:
+        """Accumulate *seconds* into *phase* (must be one of PHASES)."""
+        if phase not in PHASES:
+            raise ValueError(f"unknown phase {phase!r}; expected one of {PHASES}")
+        if seconds < 0:
+            raise ValueError(f"cannot charge negative time {seconds}")
+        setattr(self, phase, getattr(self, phase) + seconds)
+
+
+class PhaseTimer:
+    """Wall-clock timer that attributes elapsed time to breakdown phases.
+
+    Usage::
+
+        timer = PhaseTimer()
+        with timer.phase("pack"):
+            ...  # real data movement
+        breakdown = timer.breakdown
+    """
+
+    def __init__(self) -> None:
+        self.breakdown = TimeBreakdown()
+
+    def phase(self, name: str) -> "_PhaseContext":
+        if name not in PHASES:
+            raise ValueError(f"unknown phase {name!r}; expected one of {PHASES}")
+        return _PhaseContext(self, name)
+
+    def reset(self) -> TimeBreakdown:
+        """Return the accumulated breakdown and start a fresh one."""
+        done, self.breakdown = self.breakdown, TimeBreakdown()
+        return done
+
+
+class _PhaseContext:
+    __slots__ = ("_timer", "_name", "_start")
+
+    def __init__(self, timer: PhaseTimer, name: str) -> None:
+        self._timer = timer
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_PhaseContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        elapsed = time.perf_counter() - self._start
+        self._timer.breakdown.charge(self._name, elapsed)

@@ -1,0 +1,92 @@
+"""View planning: byte ranges, padding accounting and mapping budgets.
+
+Helpers that turn "send these brick sections to that neighbor" into the
+page-aligned ``(offset, length)`` chunk lists an arena can map, and report
+the two costs the paper attributes to MemMap: padded (wasted) bytes and the
+number of kernel mappings consumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["ViewPlan", "plan_view", "align_up"]
+
+
+def align_up(nbytes: int, page_size: int) -> int:
+    """Smallest page multiple >= *nbytes*."""
+    if nbytes < 0:
+        raise ValueError("nbytes cannot be negative")
+    if page_size <= 0:
+        raise ValueError("page_size must be positive")
+    return -(-nbytes // page_size) * page_size
+
+
+@dataclass(frozen=True)
+class ViewPlan:
+    """A planned stitched view plus its cost accounting.
+
+    ``chunks`` are page-aligned ``(offset, length)`` byte ranges into the
+    arena.  ``payload_bytes`` is the useful data; ``mapped_bytes`` the
+    total mapped (and hence transmitted) size; their difference is the
+    padding waste Table 2 quantifies.
+    """
+
+    chunks: Tuple[Tuple[int, int], ...]
+    payload_bytes: int
+    mapped_bytes: int
+
+    @property
+    def padding_bytes(self) -> int:
+        return self.mapped_bytes - self.payload_bytes
+
+    @property
+    def padding_fraction(self) -> float:
+        """Padding as a fraction of the payload (Table 2's "increased
+        network transfer from padding")."""
+        if self.payload_bytes == 0:
+            return 0.0
+        return self.padding_bytes / self.payload_bytes
+
+    @property
+    def mapping_count(self) -> int:
+        return len(self.chunks)
+
+
+def plan_view(
+    ranges: Sequence[Tuple[int, int]], page_size: int, coalesce: bool = True
+) -> ViewPlan:
+    """Plan a stitched view over byte ``(offset, payload_length)`` ranges.
+
+    Each range is expanded to page granularity (its offset must already be
+    page-aligned -- the storage allocator guarantees that by padding
+    section starts).  Adjacent expanded ranges are merged into single
+    chunks when *coalesce* is set, which is how Layout optimization reduces
+    MemMap's mapping count (Section 4, last paragraph).
+    """
+    if page_size <= 0:
+        raise ValueError("page_size must be positive")
+    expanded: List[Tuple[int, int]] = []
+    payload = 0
+    for off, length in ranges:
+        off, length = int(off), int(length)
+        if length <= 0:
+            raise ValueError(f"range length must be positive, got {length}")
+        if off % page_size:
+            raise ValueError(
+                f"range offset {off} not aligned to page size {page_size};"
+                " allocate the storage with mmap_alloc"
+            )
+        payload += length
+        expanded.append((off, align_up(length, page_size)))
+
+    chunks: List[Tuple[int, int]] = []
+    for off, length in expanded:
+        if coalesce and chunks and chunks[-1][0] + chunks[-1][1] == off:
+            prev_off, prev_len = chunks.pop()
+            chunks.append((prev_off, prev_len + length))
+        else:
+            chunks.append((off, length))
+    mapped = sum(length for _, length in chunks)
+    return ViewPlan(tuple(chunks), payload, mapped)

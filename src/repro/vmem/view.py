@@ -1,0 +1,63 @@
+"""Common interface of stitched views.
+
+A *stitched view* presents a sequence of page-aligned byte ranges of an
+arena as one contiguous NumPy array.  The real implementation aliases the
+underlying pages, so writes through either side are immediately visible to
+the other; the simulated implementation must be told when to move data with
+:meth:`refresh` / :meth:`flush` (no-ops for the real one).  Code written
+against this interface works identically over both.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["StitchedViewBase"]
+
+
+class StitchedViewBase(abc.ABC):
+    """A contiguous array windowing selected pages of an arena."""
+
+    def __init__(self, chunks: List[Tuple[int, int]]) -> None:
+        self.chunks = list(chunks)
+        self.nbytes = sum(length for _, length in self.chunks)
+
+    # -- data access ----------------------------------------------------
+    @abc.abstractmethod
+    def array(self, dtype=np.uint8) -> np.ndarray:
+        """The view contents as one flat contiguous array of *dtype*."""
+
+    @abc.abstractmethod
+    def refresh(self) -> None:
+        """Make arena-side writes visible in :meth:`array` (sim only)."""
+
+    @abc.abstractmethod
+    def flush(self, up_to_bytes: int = None) -> None:
+        """Make view-side writes visible in the arena (sim only).
+
+        *up_to_bytes* restricts the write-back to the leading portion of
+        the view (page-granular); callers use it when the tail of a view
+        merely aliases data owned elsewhere (e.g. ghost sections aliasing
+        a neighbor's surface) and must not be written back.
+        """
+
+    @property
+    @abc.abstractmethod
+    def zero_copy(self) -> bool:
+        """True if the view aliases the arena (no data movement ever)."""
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:  # pragma: no cover - trivial default
+        """Release any OS resources held by the view."""
+
+    def __enter__(self) -> "StitchedViewBase":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return self.nbytes

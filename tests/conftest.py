@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.brick.decomp import BrickDecomp
+from repro.core.problem import StencilProblem
+from repro.hardware.profiles import generic_host, summit_v100, theta_knl
+from repro.stencil.spec import SEVEN_POINT, star_stencil
+
+
+@pytest.fixture
+def theta():
+    return theta_knl()
+
+
+@pytest.fixture
+def summit():
+    return summit_v100()
+
+
+@pytest.fixture
+def host():
+    return generic_host()
+
+
+@pytest.fixture
+def small_decomp():
+    """32^3 subdomain, 8^3 bricks, ghost 8: grid 4^3 with real interior."""
+    return BrickDecomp((32, 32, 32), (8, 8, 8), 8)
+
+
+@pytest.fixture
+def tiny_decomp():
+    """16^3 subdomain: degenerate grid 2^3 (all bricks are corners)."""
+    return BrickDecomp((16, 16, 16), (8, 8, 8), 8)
+
+
+@pytest.fixture
+def decomp2d():
+    """2-D decomposition: 32x32 elements, 4x4 bricks, ghost 4."""
+    return BrickDecomp((32, 32), (4, 4), 4)
+
+
+@pytest.fixture
+def small_problem():
+    """8 ranks over a 32^3 periodic cube (16^3 subdomains)."""
+    return StencilProblem(
+        global_extent=(32, 32, 32),
+        rank_dims=(2, 2, 2),
+        stencil=SEVEN_POINT,
+        brick_dim=(8, 8, 8),
+        ghost=8,
+    )
+
+
+@pytest.fixture
+def medium_problem():
+    """8 ranks over a 64^3 periodic cube (32^3 subdomains, real interior)."""
+    return StencilProblem(
+        global_extent=(64, 64, 64),
+        rank_dims=(2, 2, 2),
+        stencil=SEVEN_POINT,
+        brick_dim=(8, 8, 8),
+        ghost=8,
+    )
+
+
+@pytest.fixture
+def star5_2d():
+    return star_stencil(2, 1, name="5pt-2d")

@@ -1,0 +1,122 @@
+"""BrickStorage and BrickInfo adjacency."""
+
+import numpy as np
+import pytest
+
+from repro.brick.decomp import BrickDecomp
+from repro.brick.info import BrickInfo, all_direction_vectors, direction_index
+from repro.brick.storage import BrickStorage
+
+
+class TestStorage:
+    def test_allocate_shape(self):
+        st = BrickStorage.allocate(10, 512)
+        assert st.data.shape == (10, 512)
+        assert st.brick_bytes == 4096
+        assert not st.can_map
+
+    def test_mmap_alloc_can_map(self):
+        st = BrickStorage.mmap_alloc(4, 512, page_size=4096)
+        assert st.can_map
+        st.close()
+
+    def test_slot_view_is_view(self):
+        st = BrickStorage.allocate(10, 512)
+        v = st.slot_view(2, 3)
+        v[:] = 7.0
+        assert (st.data[2:5] == 7.0).all()
+        assert (st.data[0] == 0.0).all()
+
+    def test_slot_range_bounds(self):
+        st = BrickStorage.allocate(4, 8)
+        with pytest.raises(IndexError):
+            st.slot_range_bytes(3, 2)
+
+    def test_fill(self):
+        st = BrickStorage.allocate(4, 8)
+        st.fill(1.5)
+        assert (st.data == 1.5).all()
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            BrickStorage.allocate(0, 8)
+
+    def test_dtype(self):
+        st = BrickStorage.allocate(4, 8, dtype=np.float32)
+        assert st.brick_bytes == 32
+
+
+class TestDirectionIndex:
+    def test_roundtrip(self):
+        vecs = all_direction_vectors(3)
+        assert len(vecs) == 27
+        for i, v in enumerate(vecs):
+            assert direction_index(v) == i
+
+    def test_center(self):
+        assert direction_index((0, 0, 0)) == 13
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            direction_index((2, 0))
+
+
+class TestAdjacency:
+    def test_center_is_self(self, small_decomp):
+        info = small_decomp.brick_info()
+        center = direction_index((0, 0, 0))
+        slots = np.arange(info.nslots)
+        assert (info.adjacency[:, center] == slots).all()
+
+    def test_neighbors_mutual(self, small_decomp):
+        info = small_decomp.brick_info()
+        plus_x = direction_index((1, 0, 0))
+        minus_x = direction_index((-1, 0, 0))
+        for slot in range(0, info.nslots, 7):
+            n = info.adjacency[slot, plus_x]
+            if n >= 0:
+                assert info.adjacency[n, minus_x] == slot
+
+    def test_adjacency_matches_coords(self, small_decomp):
+        d = small_decomp
+        asn = d.assignment(1)
+        info = d.brick_info(asn)
+        for slot in range(0, info.nslots, 11):
+            base = asn.slot_coords[slot]
+            for vec in ((1, 0, 0), (0, -1, 0), (1, 1, -1)):
+                n = info.neighbor_slot(slot, vec)
+                if n >= 0:
+                    np.testing.assert_array_equal(
+                        asn.slot_coords[n], base + np.array(vec)
+                    )
+
+    def test_outer_boundary_has_missing_neighbors(self, small_decomp):
+        d = small_decomp
+        asn = d.assignment(1)
+        info = d.brick_info(asn)
+        # A ghost corner brick has no neighbor further out.
+        corner_slot = int(asn.grid_index[0, 0, 0])
+        assert info.neighbor_slot(corner_slot, (-1, -1, -1)) == -1
+
+    def test_compute_slots_have_full_neighborhoods(self, small_decomp):
+        d = small_decomp
+        asn = d.assignment(1)
+        info = d.brick_info(asn)
+        slots = d.compute_slots(asn)
+        assert len(slots) == 4**3
+        assert (info.adjacency[slots] >= 0).all()
+
+    def test_padding_slots_have_no_neighbors(self, small_decomp):
+        d = small_decomp
+        asn = d.assignment(16)
+        info = d.brick_info(asn)
+        pads = [s for s in range(asn.total_slots) if asn.is_padding(s)]
+        arr = info.adjacency[pads]
+        center = direction_index((0, 0, 0))
+        mask = np.ones(27, dtype=bool)
+        mask[center] = False
+        assert (arr[:, mask] == -1).all()
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            BrickInfo(3, (8, 8, 8), np.zeros((4, 9), dtype=np.int64))

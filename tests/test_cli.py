@@ -1,0 +1,102 @@
+"""CLI (`python -m repro`) behaviour."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+class TestFigures:
+    def test_list(self, capsys):
+        assert main(["figures", "--list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert len(out) == 16
+        assert "fig9" in out
+
+    def test_single_artifact(self, capsys):
+        assert main(["figures", "tab1"]) == 0
+        out = capsys.readouterr().out
+        assert "TAB1" in out
+        assert "1042" in out  # Eq. 1 at D=5
+
+    def test_unknown_artifact(self):
+        with pytest.raises(ValueError):
+            main(["figures", "fig99"])
+
+
+class TestRun:
+    def test_memmap_run_validates(self, capsys):
+        assert main(["run", "--method", "memmap", "--steps", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "bit-exact vs serial reference: True" in out
+        assert "perf" in out
+
+    def test_open_boundaries_skip_validation(self, capsys):
+        assert main(
+            ["run", "--method", "layout", "--steps", "1",
+             "--open-boundaries"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "bit-exact" not in out
+
+    def test_exchange_period_and_json(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "run.json"
+        assert main(
+            ["run", "--method", "yask", "--steps", "4",
+             "--exchange-period", "auto", "--json", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "exchange period: 8" in out
+        data = json.loads(path.read_text())
+        assert data["bit_exact"] is True
+        assert data["exchange_period"] == 8
+        assert data["phases_s"]["pack"]["avg"] > 0
+        assert data["messages_per_rank"] == 26
+
+
+class TestAdvise:
+    def test_advise_runs(self, capsys):
+        assert main(["advise", "--domain", "512", "--max-nodes", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "memmap" in out
+        assert "eff%" in out
+
+
+class TestSearchLayout:
+    def test_2d_reaches_optimum(self, capsys):
+        assert main(["search-layout", "2", "--restarts", "4",
+                     "--iters", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "9 messages" in out
+
+    def test_1d_exhaustive(self, capsys):
+        assert main(["search-layout", "1", "--exhaustive"]) == 0
+
+
+class TestValidate:
+    @pytest.mark.slow
+    def test_all_methods_ok(self, capsys):
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "all exchange methods bit-exact" in out
+        assert "FAILED" not in out
+
+
+@pytest.mark.slow
+def test_module_entrypoint():
+    res = run_cli("figures", "tab1")
+    assert res.returncode == 0
+    assert "TAB1" in res.stdout

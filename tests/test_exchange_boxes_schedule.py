@@ -1,0 +1,187 @@
+"""Array boxes and combinatorial message schedules."""
+
+import math
+
+import pytest
+
+from repro.exchange.boxes import box_slices, neighbor_recv_box, neighbor_send_box
+from repro.exchange.schedule import (
+    array_schedule,
+    basic_brick_schedule,
+    brick_send_schedule,
+    memmap_schedule,
+    shift_schedule,
+)
+from repro.layout.order import SURFACE3D, lexicographic_order
+from repro.layout.regions import all_regions
+from repro.util.bitset import BitSet
+
+
+class TestBoxes:
+    def test_send_recv_shapes_match_opposites(self):
+        extent, g = (16, 12, 8), 4
+        for nbr in all_regions(3):
+            _, s_ext = neighbor_send_box(nbr, extent, g)
+            _, r_ext = neighbor_recv_box(nbr.opposite(), extent, g)
+            assert s_ext == r_ext
+
+    def test_send_box_inside_owned(self):
+        extent, g = (16, 16, 16), 4
+        lo, ext = neighbor_send_box(BitSet([1, -3]), extent, g)
+        assert lo == (16, 4, 4)
+        assert ext == (4, 16, 4)
+
+    def test_recv_box_in_ghost(self):
+        extent, g = (16, 16, 16), 4
+        lo, ext = neighbor_recv_box(BitSet([1]), extent, g)
+        assert lo == (20, 4, 4)
+        assert ext == (4, 16, 16)
+
+    def test_recv_boxes_disjoint(self):
+        """Ghost regions are disjoint (paper Section 3.2)."""
+        extent, g = (8, 8), 2
+        cells = set()
+        for nbr in all_regions(2):
+            lo, ext = neighbor_recv_box(nbr, extent, g)
+            for i in range(lo[0], lo[0] + ext[0]):
+                for j in range(lo[1], lo[1] + ext[1]):
+                    assert (i, j) not in cells
+                    cells.add((i, j))
+        # exactly the ghost shell
+        assert len(cells) == 12 * 12 - 8 * 8
+
+    def test_box_slices_numpy_order(self):
+        slc = box_slices(((1, 2, 3), (4, 5, 6)))
+        assert slc == (slice(3, 9), slice(2, 7), slice(1, 5))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            neighbor_send_box(BitSet(), (8, 8), 2)
+        with pytest.raises(ValueError):
+            neighbor_send_box(BitSet([1]), (8, 8), 0)
+
+
+GRID, WIDTH, BB = (8, 8, 8), 1, 4096
+
+
+class TestBrickSchedules:
+    def test_layout_message_count(self):
+        specs = brick_send_schedule(GRID, WIDTH, SURFACE3D, BB)
+        assert len(specs) == 42
+
+    def test_basic_message_count(self):
+        specs = basic_brick_schedule(GRID, WIDTH, SURFACE3D, BB)
+        assert len(specs) == 98
+
+    def test_lexicographic_layout_count(self):
+        # 2-D figure-2 order needs 12 messages.
+        specs = brick_send_schedule((8, 8), 1, lexicographic_order(2), 512)
+        assert len(specs) == 12
+
+    def test_total_payload_independent_of_scheme(self):
+        """Layout vs Basic move identical bytes, just in different
+        message counts."""
+        lay = brick_send_schedule(GRID, WIDTH, SURFACE3D, BB)
+        bas = basic_brick_schedule(GRID, WIDTH, SURFACE3D, BB)
+        assert sum(m.payload_bytes for m in lay) == sum(
+            m.payload_bytes for m in bas
+        )
+
+    def test_payload_equals_ghost_volume(self):
+        """Total sent bytes = total ghost bytes of one neighbor set."""
+        specs = brick_send_schedule(GRID, WIDTH, SURFACE3D, BB)
+        n = GRID[0]
+        shell = (n + 2 * WIDTH) ** 3 - n**3
+        # each (region, neighbor) instance is sent once; sum over
+        # neighbors of regions >= shell (overlap multiplicity)
+        per_region_instances = sum(m.payload_bytes for m in specs) // BB
+        expected = sum(
+            math.prod(
+                (WIDTH if v else n - 2 * WIDTH) for v in r.to_vector(3)
+            ) * (2 ** len(r) - 1)
+            for r in all_regions(3)
+        )
+        assert per_region_instances == expected
+
+    def test_degenerate_grid_drops_empty(self):
+        specs = brick_send_schedule((2, 2, 2), 1, SURFACE3D, BB)
+        assert 0 < len(specs) < 42
+        assert all(m.payload_bytes > 0 for m in specs)
+
+
+class TestMemMapSchedule:
+    def test_one_message_per_neighbor(self):
+        specs = memmap_schedule(GRID, WIDTH, SURFACE3D, BB, 65536)
+        assert len(specs) == 26
+
+    def test_padding_with_64k_pages(self):
+        specs = memmap_schedule(GRID, WIDTH, SURFACE3D, BB, 65536)
+        assert all(m.wire_bytes >= m.payload_bytes for m in specs)
+        assert any(m.wire_bytes > m.payload_bytes for m in specs)
+        for m in specs:
+            assert m.wire_bytes % 65536 == 0
+
+    def test_no_padding_when_brick_is_page(self):
+        """On Theta an 8^3 double brick is exactly one 4 KiB page."""
+        specs = memmap_schedule(GRID, WIDTH, SURFACE3D, BB, 4096)
+        assert all(m.wire_bytes == m.payload_bytes for m in specs)
+
+    def test_mapping_counts_match_runs(self):
+        from repro.layout.messages import message_runs
+
+        specs = memmap_schedule(GRID, WIDTH, SURFACE3D, BB, 65536)
+        total_runs = sum(m.nmappings for m in specs)
+        expected = sum(
+            len(message_runs(SURFACE3D, t)) for t in all_regions(3)
+        )
+        assert total_runs == expected == 42
+
+    def test_page1_equals_payload(self):
+        specs = memmap_schedule(GRID, WIDTH, SURFACE3D, BB, 1)
+        assert all(m.wire_bytes == m.payload_bytes for m in specs)
+
+
+class TestArraySchedule:
+    def test_one_box_per_neighbor(self):
+        specs = array_schedule((16, 16, 16), 8)
+        assert len(specs) == 26
+
+    def test_face_normal_axis1_is_strided(self):
+        specs = array_schedule((64, 64, 64), 8)
+        by_nbr = {m.neighbor: m for m in specs}
+        face_x = by_nbr[BitSet([1])]
+        assert face_x.run_elems == 8  # g-element runs
+        assert face_x.nsegments == 64 * 64
+        face_z = by_nbr[BitSet([3])]
+        assert face_z.run_elems == 64  # full interior rows
+
+    def test_payload_matches_boxes(self):
+        extent, g = (16, 16, 16), 8
+        specs = array_schedule(extent, g)
+        total = sum(m.payload_bytes for m in specs)
+        expected = sum(
+            math.prod(g if v else e for v, e in zip(n.to_vector(3), extent)) * 8
+            for n in all_regions(3)
+        )
+        assert total == expected
+
+
+class TestShiftSchedule:
+    def test_two_messages_per_dim(self):
+        phases = shift_schedule((16, 16, 16), 8)
+        assert len(phases) == 3
+        assert all(len(p) == 2 for p in phases)
+
+    def test_later_phases_carry_corners(self):
+        phases = shift_schedule((16, 16, 16), 8)
+        # axis-3 faces span the extended extent on axes 1 and 2
+        a3 = phases[2][0]
+        assert a3.payload_bytes == 32 * 32 * 8 * 8
+
+    def test_total_volume_equals_ghost_volume(self):
+        """Both Shift and the direct exchange fill the ghost shell exactly
+        once, so total communicated volume is identical."""
+        phases = shift_schedule((16, 16, 16), 8)
+        shift_total = sum(m.payload_bytes for p in phases for m in p)
+        full = sum(m.payload_bytes for m in array_schedule((16, 16, 16), 8))
+        assert shift_total == full == (32**3 - 16**3) * 8

@@ -1,0 +1,222 @@
+"""Exchanger engines: correctness of every ghost-zone exchange.
+
+The oracle: after one exchange, the extended array's ghost shell must
+equal the periodic wrap of the global domain (np.pad mode="wrap" of the
+assembled global array, restricted to this rank's window).
+"""
+
+import numpy as np
+import pytest
+
+from repro.brick.convert import bricks_to_extended, extended_to_bricks
+from repro.brick.decomp import BrickDecomp
+from repro.exchange.layout_ex import LayoutExchanger
+from repro.exchange.memmap_ex import MemMapExchanger
+from repro.exchange.mpitypes import MPITypesExchanger
+from repro.exchange.pack import PackExchanger
+from repro.exchange.shift import ShiftExchanger
+from repro.hardware.profiles import theta_knl
+from repro.simmpi.launcher import run_spmd
+
+RANK_DIMS = (2, 2, 2)
+SUB = (16, 16, 16)
+G = 8
+GLOBAL = tuple(s * d for s, d in zip(SUB, RANK_DIMS))
+
+
+def _global_data(seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.random(tuple(reversed(GLOBAL)))
+
+
+def _expected_extended(global_arr, coords):
+    """This rank's extended array after a perfect exchange."""
+    wrapped = np.pad(global_arr, [(G, G)] * 3, mode="wrap")
+    lo = [c * s for c, s in zip(coords, SUB)]
+    slc = tuple(
+        slice(l, l + s + 2 * G) for l, s in zip(reversed(lo), reversed(SUB))
+    )
+    return wrapped[slc]
+
+
+def _run_array_exchanger(make, seed=0):
+    global_arr = _global_data(seed)
+
+    def fn(comm):
+        cart = comm.Create_cart(RANK_DIMS)
+        lo = [c * s for c, s in zip(cart.coords, SUB)]
+        own = tuple(
+            slice(l, l + s) for l, s in zip(reversed(lo), reversed(SUB))
+        )
+        arr = np.zeros(tuple(s + 2 * G for s in reversed(SUB)))
+        arr[tuple(slice(G, G + s) for s in reversed(SUB))] = global_arr[own]
+        ex = make(cart, arr)
+        result = ex.exchange()
+        expected = _expected_extended(global_arr, cart.coords)
+        np.testing.assert_array_equal(arr, expected)
+        return result
+
+    return run_spmd(8, fn)
+
+
+def _run_brick_exchanger(mode, seed=0, page_size=4096, layout=None):
+    global_arr = _global_data(seed)
+    profile = theta_knl()
+
+    def fn(comm):
+        cart = comm.Create_cart(RANK_DIMS)
+        d = BrickDecomp(SUB, (8, 8, 8), G, layout=layout)
+        if mode == "memmap":
+            storage, asn = d.mmap_alloc(page_size)
+            ex = MemMapExchanger(cart, d, storage, asn, profile, page_size)
+        else:
+            storage, asn = d.allocate()
+            ex = LayoutExchanger(
+                cart, d, storage, asn, profile, merge_runs=(mode == "layout")
+            )
+        lo = [c * s for c, s in zip(cart.coords, SUB)]
+        own = tuple(
+            slice(l, l + s) for l, s in zip(reversed(lo), reversed(SUB))
+        )
+        ext = np.zeros(tuple(s + 2 * G for s in reversed(SUB)))
+        ext[tuple(slice(G, G + s) for s in reversed(SUB))] = global_arr[own]
+        extended_to_bricks(ext, d, storage, asn)
+        result = ex.exchange()
+        got = bricks_to_extended(d, storage, asn)
+        expected = _expected_extended(global_arr, cart.coords)
+        np.testing.assert_array_equal(got, expected)
+        if mode == "memmap":
+            ex.close()
+        out = (result, getattr(ex, "mapping_count", 0))
+        storage.close()
+        return out
+
+    return run_spmd(8, fn)
+
+
+class TestArrayExchangers:
+    def test_pack_fills_ghosts(self):
+        profile = theta_knl()
+        results = _run_array_exchanger(
+            lambda cart, arr: PackExchanger(cart, arr, SUB, G, profile)
+        )
+        r = results[0]
+        assert r.messages_sent == 26
+        assert r.breakdown.pack > 0
+        assert r.padding_fraction == 0.0
+
+    def test_mpi_types_fills_ghosts(self):
+        profile = theta_knl()
+        results = _run_array_exchanger(
+            lambda cart, arr: MPITypesExchanger(cart, arr, SUB, G, profile)
+        )
+        r = results[0]
+        assert r.messages_sent == 26
+        assert r.breakdown.pack == 0.0  # packing is inside MPI
+        assert r.breakdown.wait > 0
+
+    def test_shift_fills_ghosts_including_corners(self):
+        profile = theta_knl()
+        results = _run_array_exchanger(
+            lambda cart, arr: ShiftExchanger(cart, arr, SUB, G, profile)
+        )
+        r = results[0]
+        assert r.messages_sent == 6
+
+
+class TestBrickExchangers:
+    def test_layout_pack_free(self):
+        results = _run_brick_exchanger("layout")
+        r, _ = results[0]
+        assert r.breakdown.pack == 0.0
+        assert r.messages_sent > 26  # more messages, no copies
+
+    def test_basic_more_messages(self):
+        basic = _run_brick_exchanger("basic")[0][0]
+        layout = _run_brick_exchanger("layout")[0][0]
+        assert basic.messages_sent > layout.messages_sent
+        assert basic.payload_bytes_sent == layout.payload_bytes_sent
+
+    def test_memmap_one_message_per_neighbor(self):
+        results = _run_brick_exchanger("memmap")
+        r, maps = results[0]
+        assert r.messages_sent == 26
+        assert r.breakdown.pack == 0.0
+        assert maps > 0
+
+    def test_memmap_64k_pages_pad(self):
+        r, _ = _run_brick_exchanger("memmap", page_size=65536)[0]
+        assert r.padding_fraction > 0
+        assert r.wire_bytes_sent % 65536 == 0
+
+    def test_memmap_4k_pages_free_on_theta(self):
+        """8^3 double bricks are exactly one 4 KiB page: zero waste."""
+        r, _ = _run_brick_exchanger("memmap", page_size=4096)[0]
+        assert r.padding_fraction == 0.0
+
+    def test_all_schemes_same_payload(self):
+        pay = set()
+        for mode in ("layout", "basic", "memmap"):
+            r = _run_brick_exchanger(mode)[0][0]
+            pay.add(r.payload_bytes_sent)
+        assert len(pay) == 1
+
+
+class TestExchangerValidation:
+    def test_layout_rejects_padded_storage(self):
+        def fn(comm):
+            cart = comm.Create_cart(RANK_DIMS)
+            d = BrickDecomp(SUB, (8, 8, 8), G)
+            storage, asn = d.mmap_alloc(65536)
+            with pytest.raises(ValueError):
+                LayoutExchanger(cart, d, storage, asn)
+            storage.close()
+
+        run_spmd(8, fn)
+
+    def test_memmap_rejects_plain_storage(self):
+        def fn(comm):
+            cart = comm.Create_cart(RANK_DIMS)
+            d = BrickDecomp(SUB, (8, 8, 8), G)
+            storage, asn = d.allocate()
+            with pytest.raises(ValueError):
+                MemMapExchanger(cart, d, storage, asn)
+
+        run_spmd(8, fn)
+
+    def test_pack_shape_validation(self):
+        def fn(comm):
+            cart = comm.Create_cart(RANK_DIMS)
+            with pytest.raises(ValueError):
+                PackExchanger(cart, np.zeros((4, 4, 4)), SUB, G, theta_knl())
+
+        run_spmd(8, fn)
+
+
+class TestRepeatedExchanges:
+    def test_exchange_idempotent_on_static_data(self):
+        """Exchanging twice without changing the data leaves it fixed."""
+        global_arr = _global_data(2)
+        profile = theta_knl()
+
+        def fn(comm):
+            cart = comm.Create_cart(RANK_DIMS)
+            d = BrickDecomp(SUB, (8, 8, 8), G)
+            storage, asn = d.mmap_alloc(4096)
+            ex = MemMapExchanger(cart, d, storage, asn, profile)
+            lo = [c * s for c, s in zip(cart.coords, SUB)]
+            own = tuple(
+                slice(l, l + s) for l, s in zip(reversed(lo), reversed(SUB))
+            )
+            ext = np.zeros(tuple(s + 2 * G for s in reversed(SUB)))
+            ext[tuple(slice(G, G + s) for s in reversed(SUB))] = global_arr[own]
+            extended_to_bricks(ext, d, storage, asn)
+            ex.exchange()
+            first = bricks_to_extended(d, storage, asn)
+            ex.exchange()
+            second = bricks_to_extended(d, storage, asn)
+            np.testing.assert_array_equal(first, second)
+            ex.close()
+            storage.close()
+
+        run_spmd(8, fn)

@@ -1,0 +1,153 @@
+"""LocalDomainGrid: aliased intra-node halos, no communication at all."""
+
+import numpy as np
+import pytest
+
+import repro.exchange.local as local_mod
+from repro.exchange.local import LocalDomainGrid
+from repro.stencil.brick_kernels import apply_brick_stencil
+from repro.stencil.reference import apply_periodic_reference
+from repro.stencil.spec import CUBE125, SEVEN_POINT, star_stencil
+from repro.vmem import SimArena, realmap_available
+
+
+def _run_grid(grid_a, grid_b, spec, steps):
+    grids = [grid_a, grid_b]
+    src, dst = 0, 1
+    for _ in range(steps):
+        for idx in range(grid_a.ndomains):
+            apply_brick_stencil(
+                spec,
+                grids[src].storages[idx],
+                grids[dst].storages[idx],
+                grids[src].info,
+                grids[src].compute_slots,
+            )
+        grids[dst].flush_owned()
+        grids[dst].sync()
+        src, dst = dst, src
+    return grids[src].extract_global()
+
+
+def _make_pair(domain_dims, sub=(16, 16, 16), **kw):
+    a = LocalDomainGrid(domain_dims, sub, (8, 8, 8), 8, **kw)
+    b = LocalDomainGrid(domain_dims, sub, (8, 8, 8), 8, **kw)
+    return a, b
+
+
+class TestHaloFreeSimulation:
+    @pytest.mark.parametrize("spec", [SEVEN_POINT, CUBE125])
+    def test_2x2x2_domains_match_reference(self, spec):
+        a, b = _make_pair((2, 2, 2))
+        rng = np.random.default_rng(0)
+        global_arr = rng.random((32, 32, 32))
+        a.load_global(global_arr)
+        got = _run_grid(a, b, spec, steps=2)
+        ref = apply_periodic_reference(global_arr, spec, 2)
+        np.testing.assert_array_equal(got, ref)
+        a.close()
+        b.close()
+
+    def test_single_domain_periodic_self_alias(self):
+        """domain_dims (1,1,1): ghosts alias the domain's own opposite
+        surface -- periodic boundaries with zero exchange code."""
+        a, b = _make_pair((1, 1, 1))
+        rng = np.random.default_rng(1)
+        global_arr = rng.random((16, 16, 16))
+        a.load_global(global_arr)
+        got = _run_grid(a, b, SEVEN_POINT, steps=3)
+        ref = apply_periodic_reference(global_arr, SEVEN_POINT, 3)
+        np.testing.assert_array_equal(got, ref)
+        a.close()
+        b.close()
+
+    def test_anisotropic_domain_grid(self):
+        a, b = _make_pair((4, 1, 2))
+        rng = np.random.default_rng(2)
+        global_arr = rng.random((32, 16, 64))  # numpy order axis3..axis1
+        a.load_global(global_arr)
+        got = _run_grid(a, b, SEVEN_POINT, steps=1)
+        ref = apply_periodic_reference(global_arr, SEVEN_POINT, 1)
+        np.testing.assert_array_equal(got, ref)
+        a.close()
+        b.close()
+
+    def test_2d(self):
+        spec = star_stencil(2, 1)
+        a = LocalDomainGrid((2, 2), (16, 16), (4, 4), 4)
+        b = LocalDomainGrid((2, 2), (16, 16), (4, 4), 4)
+        rng = np.random.default_rng(3)
+        global_arr = rng.random((32, 32))
+        a.load_global(global_arr)
+        got = _run_grid(a, b, spec, steps=2)
+        ref = apply_periodic_reference(global_arr, spec, 2)
+        np.testing.assert_array_equal(got, ref)
+        a.close()
+        b.close()
+
+
+class TestAliasing:
+    def test_zero_copy_on_real_arena(self):
+        if not realmap_available():
+            pytest.skip("real arena unavailable")
+        grid = LocalDomainGrid((2, 1, 1), (16, 16, 16), (8, 8, 8), 8)
+        assert grid.zero_copy
+        # Writing a surface brick of domain 0 is instantly visible in the
+        # matching ghost brick of domain 1, with no sync of any kind.
+        asn = grid.assignment
+        region = next(r for r in grid.decomp.layout if len(r) == 3)
+        src_sec = asn.surface[region]
+        ghost_sec = asn.ghost[(region.opposite(), region)]
+        grid.storages[0].data[src_sec.start, :] = 123.0
+        nbr = grid.neighbor_index(0, region.opposite())
+        assert nbr == 1
+        np.testing.assert_array_equal(
+            grid.storages[1].data[ghost_sec.start, :], 123.0
+        )
+        grid.close()
+
+    def test_ghosts_use_no_physical_memory(self):
+        grid = LocalDomainGrid((2, 2, 2), (16, 16, 16), (8, 8, 8), 8)
+        bb = grid.decomp.brick_bytes
+        total_virtual = grid.assignment.total_slots * bb * grid.ndomains
+        assert grid.arena.nbytes == grid.ndomains * grid.owned_bytes
+        assert grid.arena.nbytes < total_virtual  # ghosts are aliases
+        grid.close()
+
+    def test_sim_arena_equivalent(self, monkeypatch):
+        results = []
+        for force_sim in (False, True):
+            if force_sim:
+                monkeypatch.setattr(
+                    local_mod, "default_arena", lambda n, p: SimArena(n, p)
+                )
+            elif not realmap_available():
+                pytest.skip("real arena unavailable")
+            a, b = _make_pair((2, 1, 1))
+            rng = np.random.default_rng(7)
+            global_arr = rng.random((16, 16, 32))
+            a.load_global(global_arr)
+            results.append(_run_grid(a, b, SEVEN_POINT, 2))
+            a.close()
+            b.close()
+        np.testing.assert_array_equal(results[0], results[1])
+
+
+class TestValidation:
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            LocalDomainGrid((2, 2), (16, 16, 16), (8, 8, 8), 8)
+
+    def test_bad_domain_dims(self):
+        with pytest.raises(ValueError):
+            LocalDomainGrid((0, 1, 1), (16, 16, 16), (8, 8, 8), 8)
+
+    def test_load_shape_check(self):
+        grid = LocalDomainGrid((2, 1, 1), (16, 16, 16), (8, 8, 8), 8)
+        with pytest.raises(ValueError):
+            grid.load_global(np.zeros((8, 8, 8)))
+        grid.close()
+
+    def test_context_manager(self):
+        with LocalDomainGrid((1, 1, 1), (16, 16, 16), (8, 8, 8), 8) as g:
+            assert g.ndomains == 1

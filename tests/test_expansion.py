@@ -1,0 +1,162 @@
+"""Ghost-cell expansion / communication-avoiding timestepping."""
+
+import numpy as np
+import pytest
+
+from repro.core.driver import run_executed
+from repro.core.expansion import (
+    brick_cycle_depths,
+    brick_cycle_slots,
+    brick_validity_schedule,
+    cycle_period,
+    element_cycle_margins,
+    element_validity_schedule,
+)
+from repro.core.problem import StencilProblem
+from repro.stencil.reference import apply_periodic_reference
+from repro.stencil.spec import CUBE125, SEVEN_POINT
+
+
+class TestSchedules:
+    def test_element_validity(self):
+        assert element_validity_schedule(8, 1) == [8, 7, 6, 5, 4, 3, 2, 1]
+        assert element_validity_schedule(8, 2) == [8, 6, 4, 2]
+        assert element_validity_schedule(8, 8) == [8]
+
+    def test_element_margins(self):
+        assert element_cycle_margins(8, 1) == [7, 6, 5, 4, 3, 2, 1, 0]
+
+    def test_brick_validity_snaps_to_bricks(self):
+        # g=8, bd=8, r=1: one step only (a partial brick can't be computed)
+        assert brick_validity_schedule(8, 8, 1) == [8]
+        # g=16: two steps (paper's ghost-cell-expansion configuration)
+        assert brick_validity_schedule(16, 8, 1) == [16, 8]
+        assert brick_validity_schedule(32, 8, 1) == [32, 24, 16, 8]
+        assert brick_validity_schedule(16, 8, 2) == [16, 8]
+
+    def test_brick_depths(self):
+        assert brick_cycle_depths(16, 8, 1) == [1, 0]
+        assert brick_cycle_depths(32, 8, 2) == [3, 2, 1, 0]
+
+    def test_cycle_period(self):
+        assert cycle_period(8, 1) == 8  # element granularity
+        assert cycle_period(8, 1, brick_dim=8) == 1
+        assert cycle_period(16, 1, brick_dim=8) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            element_validity_schedule(0, 1)
+        with pytest.raises(ValueError):
+            element_validity_schedule(4, 8)
+
+
+class TestBrickCycleSlots:
+    def test_slot_counts(self):
+        from repro.brick.decomp import BrickDecomp
+
+        d = BrickDecomp((32, 32, 32), (8, 8, 8), 16)
+        asn = d.assignment(1)
+        per_step = brick_cycle_slots(d, asn, radius=1)
+        assert len(per_step) == 2
+        # step 0: owned (4^3) plus the depth-1 ghost shell (6^3 - 4^3)
+        assert len(per_step[0]) == 6**3
+        # step 1: owned only
+        assert len(per_step[1]) == 4**3
+
+    def test_all_steps_include_owned(self):
+        from repro.brick.decomp import BrickDecomp
+
+        d = BrickDecomp((32, 32, 32), (8, 8, 8), 16)
+        asn = d.assignment(1)
+        owned = set(d.compute_slots(asn).tolist())
+        for slots in brick_cycle_slots(d, asn, 1):
+            assert owned <= set(slots.tolist())
+
+
+class TestExecutedCommunicationAvoiding:
+    @pytest.mark.parametrize("method", ["yask", "mpi_types"])
+    def test_array_full_period_bit_exact(self, method, theta):
+        """Element-granular CA: exchange every 8 steps with g=8, r=1."""
+        problem = StencilProblem(
+            (32, 32, 32), (2, 2, 2), SEVEN_POINT, (8, 8, 8), 8
+        )
+        steps = 9  # crosses a cycle boundary
+        run = run_executed(
+            problem, method, theta, timesteps=steps, exchange_period="auto"
+        )
+        assert run.exchange_period == 8
+        ref = apply_periodic_reference(
+            problem.initial_global(0), SEVEN_POINT, steps
+        )
+        np.testing.assert_array_equal(run.global_result, ref)
+
+    @pytest.mark.parametrize("method", ["layout", "memmap"])
+    def test_brick_period_two_bit_exact(self, method, theta):
+        """Brick-granular CA: g=16 gives period 2."""
+        problem = StencilProblem(
+            (64, 64, 64), (2, 2, 2), SEVEN_POINT, (8, 8, 8), 16
+        )
+        steps = 5
+        run = run_executed(
+            problem, method, theta, timesteps=steps, exchange_period="auto"
+        )
+        assert run.exchange_period == 2
+        ref = apply_periodic_reference(
+            problem.initial_global(0), SEVEN_POINT, steps
+        )
+        np.testing.assert_array_equal(run.global_result, ref)
+
+    def test_cube125_with_expansion(self, theta):
+        problem = StencilProblem(
+            (64, 64, 64), (2, 2, 2), CUBE125, (8, 8, 8), 16
+        )
+        run = run_executed(
+            problem, "memmap", theta, timesteps=3, exchange_period="auto"
+        )
+        assert run.exchange_period == 2
+        ref = apply_periodic_reference(problem.initial_global(0), CUBE125, 3)
+        np.testing.assert_array_equal(run.global_result, ref)
+
+    def test_fewer_exchanges_counted(self, theta):
+        problem = StencilProblem(
+            (32, 32, 32), (2, 2, 2), SEVEN_POINT, (8, 8, 8), 8
+        )
+        ca = run_executed(
+            problem, "yask", theta, timesteps=8, exchange_period="auto"
+        )
+        every = run_executed(problem, "yask", theta, timesteps=8)
+        assert ca.fabric.stats[0].sends * 8 == every.fabric.stats[0].sends
+
+    def test_ca_reduces_modelled_comm_at_small_sizes(self, theta):
+        problem = StencilProblem(
+            (32, 32, 32), (2, 2, 2), SEVEN_POINT, (8, 8, 8), 8
+        )
+        ca = run_executed(
+            problem, "yask", theta, timesteps=8, exchange_period="auto"
+        )
+        every = run_executed(problem, "yask", theta, timesteps=8)
+        assert ca.metrics.comm_time < every.metrics.comm_time
+        # the price: redundant computation
+        assert ca.metrics.calc.avg > every.metrics.calc.avg
+
+    def test_period_exceeding_ghost_rejected(self, theta):
+        problem = StencilProblem(
+            (32, 32, 32), (2, 2, 2), SEVEN_POINT, (8, 8, 8), 8
+        )
+        with pytest.raises(RuntimeError, match="exceeds"):
+            run_executed(
+                problem, "memmap", theta, timesteps=2, exchange_period=4
+            )
+
+    def test_explicit_period(self, theta):
+        problem = StencilProblem(
+            (32, 32, 32), (2, 2, 2), SEVEN_POINT, (8, 8, 8), 8
+        )
+        run = run_executed(
+            problem, "yask", theta, timesteps=4, exchange_period=4
+        )
+        assert run.exchange_period == 4
+        ref = apply_periodic_reference(
+            problem.initial_global(0), SEVEN_POINT, 4
+        )
+        np.testing.assert_array_equal(run.global_result, ref)

@@ -1,0 +1,95 @@
+"""Fabric failure modes: deadlocks, aborts, error cascades."""
+
+import numpy as np
+import pytest
+
+import repro.simmpi.fabric as fabric_mod
+from repro.simmpi import SimFabric, run_spmd
+from repro.simmpi.fabric import AbortedError, DeadlockError
+
+
+@pytest.fixture
+def fast_timeout(monkeypatch):
+    """Shrink the deadlock timeout so failure tests run quickly."""
+    monkeypatch.setattr(fabric_mod, "_DEADLOCK_TIMEOUT", 0.5)
+
+
+class TestDeadlockDetection:
+    def test_unmatched_recv_detected(self, fast_timeout):
+        def fn(comm):
+            buf = np.empty(1)
+            comm.Recv(buf, (comm.rank + 1) % comm.size, tag=99)
+
+        with pytest.raises(RuntimeError, match="waited"):
+            run_spmd(2, fn)
+
+    def test_unmatched_send_detected(self, fast_timeout):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.Send(np.zeros(1), 1, tag=5)  # nobody receives
+            else:
+                # rank 1 sits at the barrier forever; abort must reach it
+                try:
+                    comm.Barrier()
+                except Exception:
+                    pass
+
+        with pytest.raises(RuntimeError, match="unmatched|Deadlock|deadlock"):
+            run_spmd(2, fn)
+
+    def test_tag_mismatch_is_a_deadlock(self, fast_timeout):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.Send(np.zeros(1), 1, tag=1)
+            else:
+                comm.Recv(np.empty(1), 0, tag=2)
+
+        with pytest.raises(RuntimeError):
+            run_spmd(2, fn)
+
+
+class TestAbortCascades:
+    def test_one_failure_releases_blocked_peers(self, fast_timeout):
+        """A raise on one rank must not leave others hanging on recvs."""
+
+        def fn(comm):
+            if comm.rank == 0:
+                raise RuntimeError("original failure")
+            comm.Recv(np.empty(1), 0, tag=0)  # would block forever
+
+        with pytest.raises(RuntimeError, match="original failure"):
+            run_spmd(3, fn)
+
+    def test_root_cause_reported_not_fallout(self, fast_timeout):
+        """The launcher reports the originating exception, not the
+        BrokenBarrier/Aborted noise other ranks see."""
+
+        def fn(comm):
+            if comm.rank == 2:
+                raise ValueError("root cause")
+            comm.Barrier()
+
+        with pytest.raises(RuntimeError, match="rank 2.*root cause"):
+            run_spmd(4, fn)
+
+    def test_fabric_unusable_after_abort(self, fast_timeout):
+        fab = SimFabric(2)
+        fab.abort()
+        with pytest.raises(AbortedError):
+            fab.complete_recv(0, 1, 0, np.empty(1))
+
+
+class TestPendingAccounting:
+    def test_pending_messages_counter(self):
+        fab = SimFabric(2)
+        assert fab.pending_messages == 0
+        fab.post_send(0, 1, 7, np.zeros(4))
+        assert fab.pending_messages == 1
+        fab.complete_recv(0, 1, 7, np.empty(4))
+        assert fab.pending_messages == 0
+
+    def test_clean_run_leaves_no_pending(self, small_problem, theta):
+        from repro.core.driver import run_executed
+
+        run = run_executed(small_problem, "layout", theta, timesteps=2)
+        assert run.fabric.pending_messages == 0

@@ -1,0 +1,67 @@
+"""Roofline compute model."""
+
+import pytest
+
+from repro.hardware.compute import ComputeModel
+from repro.stencil.spec import CUBE125, SEVEN_POINT
+
+
+@pytest.fixture
+def knl():
+    # Theta's KNL: 2.2 Tflop/s sustained, 467 GB/s MCDRAM.
+    return ComputeModel(peak_flops=2.2e12, mem_bw=467e9)
+
+
+class TestRoofline:
+    def test_7pt_is_bandwidth_bound(self, knl):
+        """AI = 8/16 < machine balance (2200/467 ~ 4.7 flop/byte)."""
+        points = 512**3
+        t = knl.stencil_time(points, SEVEN_POINT.flops_per_point,
+                             SEVEN_POINT.bytes_per_point)
+        assert t == pytest.approx(points * 16 / 467e9)
+
+    def test_125pt_is_compute_bound(self, knl):
+        """AI = 139/16 ~ 8.7 > machine balance."""
+        points = 512**3
+        t = knl.stencil_time(points, CUBE125.flops_per_point,
+                             CUBE125.bytes_per_point)
+        assert t == pytest.approx(points * 139 / 2.2e12)
+
+    def test_zero_points(self, knl):
+        assert knl.stencil_time(0, 8, 16) == 0.0
+
+    def test_overhead_floor(self):
+        m = ComputeModel(1e12, 1e11, parallel_overhead=1e-4)
+        assert m.stencil_time(1, 8, 16) >= 1e-4
+
+    def test_efficiency_scales_time(self):
+        base = ComputeModel(1e12, 1e11)
+        half = base.with_efficiency(0.5)
+        assert half.stencil_time(1000, 8, 16) == pytest.approx(
+            2 * base.stencil_time(1000, 8, 16)
+        )
+
+    def test_with_overhead_copy(self):
+        m = ComputeModel(1e12, 1e11).with_overhead(5e-5)
+        assert m.parallel_overhead == 5e-5
+
+    def test_negative_points(self, knl):
+        with pytest.raises(ValueError):
+            knl.stencil_time(-1, 8, 16)
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            ComputeModel(0, 1e9)
+        with pytest.raises(ValueError):
+            ComputeModel(1e12, 1e9, efficiency=0)
+
+
+class TestStrongScalingShape:
+    def test_compute_scales_with_volume(self, knl):
+        """Halving the subdomain dimension cuts compute ~8x (Fig. 11's
+        Comp scaling line)."""
+        t_512 = knl.stencil_time(512**3, 8, 16)
+        t_256 = knl.stencil_time(256**3, 8, 16)
+        assert t_512 / t_256 == pytest.approx(8.0)

@@ -1,0 +1,84 @@
+"""Memory model: STREAM with pattern penalties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hardware.memory import AccessPattern, MemoryModel
+
+
+@pytest.fixture
+def mem():
+    return MemoryModel(stream_bw=100e9, seg_overhead=50e-9)
+
+
+class TestPatternClassification:
+    def test_thresholds(self):
+        assert AccessPattern.classify(8) is AccessPattern.STRIDED
+        assert AccessPattern.classify(64) is AccessPattern.STANZA
+        assert AccessPattern.classify(1 << 16) is AccessPattern.UNIT
+
+    def test_boundaries(self):
+        assert AccessPattern.classify(31) is AccessPattern.STRIDED
+        assert AccessPattern.classify(32) is AccessPattern.STANZA
+        assert AccessPattern.classify(4096) is AccessPattern.UNIT
+
+
+class TestCopyTime:
+    def test_unit_stride(self, mem):
+        # 1 GB moved (read+write) at full stream bw.
+        assert mem.copy_time(1 << 30) == pytest.approx(2 * (1 << 30) / 100e9)
+
+    def test_pattern_ordering(self, mem):
+        n = 1 << 20
+        unit = mem.copy_time(n, AccessPattern.UNIT)
+        stanza = mem.copy_time(n, AccessPattern.STANZA)
+        strided = mem.copy_time(n, AccessPattern.STRIDED)
+        assert unit < stanza < strided
+
+    def test_zero(self, mem):
+        assert mem.copy_time(0) == 0.0
+
+    def test_negative(self, mem):
+        with pytest.raises(ValueError):
+            mem.copy_time(-1)
+
+
+class TestPackTime:
+    def test_empty(self, mem):
+        assert mem.pack_time(0, 0, 8) == 0.0
+
+    def test_segment_overhead_dominates_tiny_packs(self, mem):
+        # 1000 runs of 8 doubles each.
+        t = mem.pack_time(8000 * 8, 1000, 8)
+        assert t >= 1000 * mem.seg_overhead
+
+    def test_strided_packs_slower_per_byte(self, mem):
+        nbytes = 1 << 24
+        long_runs = mem.pack_time(nbytes, 16, (nbytes // 16) // 8)
+        short_runs = mem.pack_time(nbytes, nbytes // 64, 8)
+        assert short_runs > 2 * long_runs
+
+    def test_negative_segments(self, mem):
+        with pytest.raises(ValueError):
+            mem.pack_time(8, -1, 8)
+
+
+class TestValidation:
+    def test_bad_bw(self):
+        with pytest.raises(ValueError):
+            MemoryModel(stream_bw=0)
+
+    def test_bad_derate(self):
+        with pytest.raises(ValueError):
+            MemoryModel(stream_bw=1e9, derate={AccessPattern.UNIT: 1.5,
+                                               AccessPattern.STANZA: 0.5,
+                                               AccessPattern.STRIDED: 0.1})
+
+
+@given(st.integers(0, 1 << 26), st.integers(1, 10000))
+def test_pack_time_nonnegative_monotone(nbytes, nsegments):
+    mem = MemoryModel(stream_bw=100e9)
+    t = mem.pack_time(nbytes, nsegments, 8)
+    assert t >= 0.0
+    assert mem.pack_time(nbytes, nsegments + 1, 8) >= t

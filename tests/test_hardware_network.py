@@ -1,0 +1,96 @@
+"""Network cost model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hardware.network import NetworkModel
+
+
+@pytest.fixture
+def net():
+    return NetworkModel(
+        alpha=1e-6,
+        bw_peak=10e9,
+        n_half=16 * 1024,
+        overhead_send=0.5e-6,
+        overhead_recv=0.5e-6,
+    )
+
+
+class TestEffectiveBandwidth:
+    def test_half_point(self, net):
+        assert net.effective_bandwidth(16 * 1024) == pytest.approx(5e9)
+
+    def test_asymptotic(self, net):
+        assert net.effective_bandwidth(1 << 30) == pytest.approx(10e9, rel=0.001)
+
+    def test_small_messages_much_slower(self, net):
+        assert net.effective_bandwidth(64) < 0.01 * net.bw_peak
+
+
+class TestWireTime:
+    def test_zero_bytes_is_latency(self, net):
+        assert net.wire_time(0) == pytest.approx(1e-6)
+
+    def test_monotone_in_size(self, net):
+        times = [net.wire_time(1 << k) for k in range(4, 24)]
+        assert times == sorted(times)
+
+    def test_negative_rejected(self, net):
+        with pytest.raises(ValueError):
+            net.wire_time(-1)
+
+
+class TestExchange:
+    def test_call_time_linear(self, net):
+        assert net.call_time(26, 26) == pytest.approx(26e-6)
+
+    def test_empty_exchange(self, net):
+        assert net.wait_time([], []) == 0.0
+
+    def test_duplex_overlap(self, net):
+        """Send and recv streams overlap: doubling recvs to match sends
+        does not double wait time."""
+        sends = [1 << 20] * 4
+        only_sends = net.wait_time(sends, [])
+        both = net.wait_time(sends, sends)
+        assert both == pytest.approx(only_sends)
+
+    def test_injection_serializes_sends(self, net):
+        one = net.wait_time([1 << 20], [])
+        four = net.wait_time([1 << 20] * 4, [])
+        assert four > 3.5 * (one - net.alpha)
+
+    def test_concurrent_mode(self):
+        net = NetworkModel(1e-6, 10e9, 1024, 0, 0, injection_serial=False)
+        t = net.wait_time([1 << 20] * 8, [])
+        assert t == pytest.approx(net.wire_time(1 << 20))
+
+    def test_exchange_time_composition(self, net):
+        sends = [4096] * 3
+        total = net.exchange_time(sends, sends)
+        assert total == pytest.approx(
+            net.call_time(3, 3) + net.wait_time(sends, sends)
+        )
+
+    def test_startup_floor_for_tiny_messages(self, net):
+        """Many tiny messages are latency/overhead dominated -- the Fig. 9
+        flattening for small subdomains."""
+        tiny = net.exchange_time([64] * 26, [64] * 26)
+        assert tiny > net.call_time(26, 26)  # overheads dominate
+        assert tiny < 2e-4
+
+
+class TestValidation:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            NetworkModel(-1, 1e9, 0, 0, 0)
+        with pytest.raises(ValueError):
+            NetworkModel(1e-6, 0, 0, 0, 0)
+
+
+@given(st.integers(1, 1 << 28))
+def test_wire_time_exceeds_ideal(nbytes):
+    net = NetworkModel(1e-6, 10e9, 16384, 0, 0)
+    assert net.wire_time(nbytes) >= nbytes / net.bw_peak

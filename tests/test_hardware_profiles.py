@@ -1,0 +1,62 @@
+"""Machine profiles: calibration sanity."""
+
+import pytest
+
+from repro.hardware.profiles import generic_host, summit_v100, theta_knl
+
+
+class TestTheta:
+    def test_paper_constants(self, theta):
+        assert theta.memory.stream_bw == pytest.approx(467e9)
+        assert theta.compute.peak_flops == pytest.approx(2.2e12)
+        assert theta.page_size == 4096
+        assert theta.gpu is None
+
+    def test_yask_vs_brick_compute_tradeoff(self, theta):
+        """YASK wins slightly on big boxes, bricks win on small boxes
+        (Figure 10 discussion)."""
+        big, small = 512**3, 16**3
+        y, b = theta.yask_compute, theta.brick_compute
+        assert y.stencil_time(big, 8, 16) < b.stencil_time(big, 8, 16)
+        assert y.stencil_time(small, 8, 16) > b.stencil_time(small, 8, 16)
+
+    def test_brick_is_one_page(self, theta):
+        """An 8^3 double brick is exactly one x86 page -- MemMap padding
+        is free on Theta (Table 2: Layout row is all zeros)."""
+        assert 8**3 * 8 == theta.page_size
+
+
+class TestSummit:
+    def test_paper_constants(self, summit):
+        assert summit.gpu is not None
+        assert summit.gpu.hbm_bw == pytest.approx(828.8e9)
+        assert summit.gpu.peak_flops == pytest.approx(7.8e12)
+        assert summit.page_size == 64 * 1024
+
+    def test_large_pages_cause_padding(self, summit):
+        assert summit.page_size > 8**3 * 8
+
+
+class TestGeneric:
+    def test_constructs(self, host):
+        assert host.network.bw_peak > 0
+        assert host.mmap_limit == 65530
+
+    def test_with_page_size(self, host):
+        p16 = host.with_page_size(16 * 1024)
+        assert p16.page_size == 16 * 1024
+        assert p16.network is host.network  # everything else shared
+
+    def test_compute_model_fallbacks(self, host):
+        assert host.yask_compute is host.compute
+        assert host.brick_compute is host.compute
+
+
+class TestCrossMachine:
+    def test_summit_network_faster_than_theta(self, theta, summit):
+        assert summit.network.bw_peak > theta.network.bw_peak
+
+    def test_datatype_engines_are_slow(self, theta, summit):
+        """The interpretive datatype engine runs far below STREAM."""
+        assert theta.type_engine_bw < 0.01 * theta.memory.stream_bw
+        assert summit.type_engine_bw < 0.05 * summit.memory.stream_bw

@@ -1,0 +1,176 @@
+"""Integration tests pinning the paper's headline qualitative claims.
+
+Each test names the paper artifact it guards.  These are *shape* checks
+(orderings, crossovers, factors within broad bands) -- the quantities
+EXPERIMENTS.md tracks in detail.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.model import model_timestep
+from repro.hardware.profiles import summit_v100, theta_knl
+from repro.stencil.spec import CUBE125, SEVEN_POINT
+
+SIZES = (512, 256, 128, 64, 32, 16)
+
+
+def comm(profile, method, n, stencil=SEVEN_POINT, **kw):
+    return model_timestep(profile, method, (n, n, n), stencil, **kw).comm
+
+
+class TestFig1Motivation:
+    """Fig. 1: packing dominates YASK's timestep for small subdomains."""
+
+    def test_packing_fraction_grows_as_boxes_shrink(self):
+        theta = theta_knl()
+        fracs = []
+        for n in SIZES:
+            bd = model_timestep(theta, "yask", (n, n, n), SEVEN_POINT)
+            fracs.append(bd.pack / bd.total)
+        assert fracs[-1] > fracs[0]
+        assert fracs[-1] > 0.4  # majority-ish at 16^3
+
+    def test_comm_exceeds_compute_by_256(self):
+        theta = theta_knl()
+        bd = model_timestep(theta, "yask", (256, 256, 256), SEVEN_POINT)
+        assert bd.comm > bd.calc
+
+
+class TestFig4LayoutVsBasic:
+    """Fig. 4: Layout up to ~2.3x faster than Basic at small sizes."""
+
+    def test_layout_beats_basic_small(self):
+        theta = theta_knl()
+        ratio = comm(theta, "basic", 16) / comm(theta, "layout", 16)
+        assert 1.3 < ratio < 4.0
+
+    def test_gap_shrinks_for_large_boxes(self):
+        theta = theta_knl()
+        small_gap = comm(theta, "basic", 16) / comm(theta, "layout", 16)
+        big_gap = comm(theta, "basic", 512) / comm(theta, "layout", 512)
+        assert big_gap < small_gap
+
+
+class TestK1Ordering:
+    """Figs. 8-9: MemMap ~ Layout ~ Network << YASK << MPI_Types."""
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_ordering_every_size(self, n):
+        theta = theta_knl()
+        network = comm(theta, "network", n)
+        memmap = comm(theta, "memmap", n)
+        layout = comm(theta, "layout", n)
+        yask = comm(theta, "yask", n)
+        types = comm(theta, "mpi_types", n)
+        assert network <= memmap <= layout * 1.05
+        assert layout < yask
+        assert yask < types
+
+    def test_memmap_speedup_vs_yask_band(self):
+        """Paper: up to 14.4x vs YASK; speedup grows as boxes shrink."""
+        theta = theta_knl()
+        speedups = [comm(theta, "yask", n) / comm(theta, "memmap", n) for n in SIZES]
+        assert speedups[-1] > speedups[0]
+        assert 5 < max(speedups) < 60
+
+    def test_memmap_speedup_vs_mpi_types_band(self):
+        """Paper: up to 460x vs MPI_Types."""
+        theta = theta_knl()
+        speedups = [
+            comm(theta, "mpi_types", n) / comm(theta, "memmap", n) for n in SIZES
+        ]
+        assert max(speedups) > 100
+
+    def test_comm_flattens_at_small_sizes(self):
+        """Fig. 9: startup-dominated below 64^3."""
+        theta = theta_knl()
+        t64, t32, t16 = (comm(theta, "memmap", n) for n in (64, 32, 16))
+        assert t64 / t16 < 8  # far from the 16x surface-area ratio
+        assert t32 / t16 < 3
+
+
+class TestK2StrongScaling:
+    """Figs. 11-12: 1024^3 domain, 8 -> 1024 nodes."""
+
+    def _total(self, method, nodes, stencil):
+        theta = theta_knl()
+        per_axis = round(1024 / nodes ** (1 / 3))
+        bd = model_timestep(theta, method, (per_axis,) * 3, stencil)
+        return bd.total
+
+    def test_speedup_at_1024_nodes(self):
+        """Paper: 9.3x (7-pt) and 13.4x (125-pt) vs YASK at 1024 nodes."""
+        for stencil, lo, hi in ((SEVEN_POINT, 3, 40), (CUBE125, 3, 40)):
+            ratio = self._total("yask", 1024, stencil) / self._total(
+                "memmap", 1024, stencil
+            )
+            assert lo < ratio < hi
+
+    def test_comm_becomes_bottleneck_at_scale(self):
+        """Fig. 12: the comm/comp ratio grows monotonically with node
+        count; compute is at least comparable at 8 nodes and communication
+        strongly dominates at 512+ nodes."""
+        theta = theta_knl()
+        ratios = []
+        for n in (512, 256, 128, 64):  # 8 -> 4096 nodes on 1024^3
+            bd = model_timestep(theta, "memmap", (n,) * 3, SEVEN_POINT)
+            ratios.append(bd.comm / bd.calc)
+        assert ratios == sorted(ratios)
+        assert ratios[0] < 3.0  # roughly balanced at 8 nodes
+        assert ratios[-1] > 3.0  # comm-bound at scale
+
+
+class TestV1Gpu:
+    """Figs. 13-15: Summit, 8 V100s."""
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_pack_free_beats_mpi_types(self, n):
+        summit = summit_v100()
+        types = comm(summit, "mpi_types_um", n)
+        for method in ("layout_ca", "layout_um", "memmap_um"):
+            assert comm(summit, method, n) < types
+
+    def test_layout_ca_best_comm(self):
+        summit = summit_v100()
+        for n in SIZES:
+            ca = comm(summit, "layout_ca", n)
+            assert ca <= comm(summit, "layout_um", n) * 1.01
+            assert ca <= comm(summit, "memmap_um", n) * 1.01
+
+    def test_memmap_wastes_bandwidth_on_64k_pages(self):
+        """Table 2: padding grows dramatically as subdomains shrink."""
+        from repro.exchange.schedule import memmap_schedule
+        from repro.layout.order import SURFACE3D
+
+        fracs = {}
+        for n in (512, 64, 16):
+            grid = (n // 8,) * 3
+            specs = memmap_schedule(grid, 1, SURFACE3D, 4096, 65536)
+            pay = sum(m.payload_bytes for m in specs)
+            wire = sum(m.wire_bytes for m in specs)
+            fracs[n] = (wire - pay) / pay
+        assert fracs[512] < 0.10
+        assert fracs[64] > 0.5
+        assert fracs[16] > 4.0
+
+
+class TestFig18PageSize:
+    """Fig. 18: even 64 KiB pages leave MemMap ahead of YASK/MPI_Types."""
+
+    @pytest.mark.parametrize("page", [4096, 16384, 65536])
+    def test_memmap_beats_baselines_any_page_size(self, page):
+        theta = theta_knl()
+        for n in SIZES:
+            mm = comm(theta, "memmap", n, page_size=page)
+            assert mm < comm(theta, "yask", n)
+            assert mm < comm(theta, "mpi_types", n)
+
+    def test_larger_pages_monotonically_slower(self):
+        theta = theta_knl()
+        for n in (64, 32, 16):
+            times = [
+                comm(theta, "memmap", n, page_size=p)
+                for p in (4096, 16384, 65536)
+            ]
+            assert times == sorted(times)

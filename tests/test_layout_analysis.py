@@ -1,0 +1,67 @@
+"""Closed-form message-count formulas (Table 1)."""
+
+import pytest
+
+from repro.layout.analysis import (
+    basic_message_count,
+    neighbor_count,
+    optimal_message_count,
+    table1,
+)
+
+
+class TestFormulas:
+    @pytest.mark.parametrize(
+        "ndim,expected", [(1, 2), (2, 8), (3, 26), (4, 80), (5, 242)]
+    )
+    def test_eq2_neighbors(self, ndim, expected):
+        assert neighbor_count(ndim) == expected
+
+    @pytest.mark.parametrize(
+        "ndim,expected", [(1, 2), (2, 9), (3, 42), (4, 209), (5, 1042)]
+    )
+    def test_eq1_optimal(self, ndim, expected):
+        assert optimal_message_count(ndim) == expected
+
+    @pytest.mark.parametrize(
+        "ndim,expected", [(1, 2), (2, 16), (3, 98), (4, 544), (5, 2882)]
+    )
+    def test_eq3_basic(self, ndim, expected):
+        assert basic_message_count(ndim) == expected
+
+    @pytest.mark.parametrize("fn", [neighbor_count, optimal_message_count, basic_message_count])
+    def test_rejects_ndim_zero(self, fn):
+        with pytest.raises(ValueError):
+            fn(0)
+
+    def test_eq1_always_integer_up_to_10d(self):
+        for d in range(1, 11):
+            optimal_message_count(d)  # raises if non-integral
+
+
+class TestTable1:
+    def test_exact_reproduction(self):
+        t = table1()
+        assert t["Dimensions"] == [1, 2, 3, 4, 5]
+        assert t["Number of neighbors (Eq. 2)"] == [2, 8, 26, 80, 242]
+        assert t["Layout (Eq. 1)"] == [2, 9, 42, 209, 1042]
+        assert t["Basic (Eq. 3)"] == [2, 16, 98, 544, 2882]
+
+    def test_ordering_invariant(self):
+        """Packing <= Layout <= Basic for every dimension."""
+        for d in range(1, 8):
+            assert (
+                neighbor_count(d)
+                <= optimal_message_count(d)
+                <= basic_message_count(d)
+            )
+
+    def test_layout_saves_at_most_two_thirds_asymptotically(self):
+        # Section 3.3: Layout reduces Basic's messages by at most 2/3.
+        for d in range(2, 8):
+            ratio = optimal_message_count(d) / basic_message_count(d)
+            assert ratio > 1 / 3 - 0.01
+        # and approaches exactly 1/3 for large D
+        assert optimal_message_count(10) / basic_message_count(10) == pytest.approx(
+            1 / 3, rel=0.01
+        )

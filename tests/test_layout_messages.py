@@ -1,0 +1,83 @@
+"""Message-run counting for region orders."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layout.analysis import basic_message_count, optimal_message_count
+from repro.layout.messages import message_runs, messages_for_order, runs_per_neighbor
+from repro.layout.order import SURFACE2D, SURFACE3D, lexicographic_order
+from repro.layout.regions import all_regions
+from repro.util.bitset import BitSet
+
+
+class TestMessageRuns:
+    def test_single_run(self):
+        order = SURFACE2D
+        # Bottom neighbor: its three regions are positions 0..2 of the ring.
+        runs = message_runs(order, BitSet([-2]))
+        assert runs == [(0, 3)]
+
+    def test_run_split_linearly(self):
+        # In the ring order the {A1-} regions wrap around the ends,
+        # producing two linear runs (storage is linear, not circular).
+        runs = message_runs(SURFACE2D, BitSet([-1]))
+        assert len(runs) == 2
+
+    def test_corner_neighbor_single_region(self):
+        runs = message_runs(SURFACE2D, BitSet([1, 1 + 1]))
+        assert sum(length for _, length in runs) == 1
+
+    def test_empty_neighbor_rejected(self):
+        with pytest.raises(ValueError):
+            message_runs(SURFACE2D, BitSet())
+
+    def test_runs_cover_exactly_the_supersets(self):
+        for neighbor in all_regions(2):
+            runs = message_runs(SURFACE2D, neighbor)
+            covered = set()
+            for start, length in runs:
+                covered.update(range(start, start + length))
+            expected = {
+                i for i, r in enumerate(SURFACE2D) if neighbor.issubset(r)
+            }
+            assert covered == expected
+
+
+class TestMessageCounts:
+    def test_figure2_layout_needs_12(self):
+        assert messages_for_order(lexicographic_order(2), 2) == 12
+
+    def test_surface2d_is_optimal(self):
+        assert messages_for_order(SURFACE2D, 2) == optimal_message_count(2) == 9
+
+    def test_surface3d_is_optimal(self):
+        assert messages_for_order(SURFACE3D, 3) == optimal_message_count(3) == 42
+
+    def test_1d_trivial(self):
+        order = all_regions(1)
+        assert messages_for_order(order, 1) == 2
+
+    def test_runs_per_neighbor_totals(self):
+        per = runs_per_neighbor(SURFACE3D, 3)
+        assert len(per) == 26
+        assert sum(len(v) for v in per.values()) == 42
+
+
+@settings(max_examples=60)
+@given(st.randoms(use_true_random=False))
+def test_any_order_within_analytic_bounds(rnd):
+    """Every permutation's message count lies in [Eq.1, Eq.3]."""
+    regions = all_regions(2)
+    rnd.shuffle(regions)
+    count = messages_for_order(regions, 2)
+    assert optimal_message_count(2) <= count <= basic_message_count(2)
+
+
+@settings(max_examples=20)
+@given(st.randoms(use_true_random=False))
+def test_any_3d_order_within_analytic_bounds(rnd):
+    regions = all_regions(3)
+    rnd.shuffle(regions)
+    count = messages_for_order(regions, 3)
+    assert optimal_message_count(3) <= count <= basic_message_count(3)

@@ -1,0 +1,78 @@
+"""Packaged layout constants and order helpers."""
+
+import pytest
+
+from repro.layout.analysis import optimal_message_count
+from repro.layout.messages import messages_for_order
+from repro.layout.order import (
+    SURFACE1D,
+    SURFACE2D,
+    SURFACE3D,
+    basic_order,
+    grouped_order,
+    lexicographic_order,
+    surface_order,
+    validate_order,
+)
+from repro.layout.regions import all_regions
+from repro.util.bitset import BitSet
+
+
+class TestPackagedConstants:
+    @pytest.mark.parametrize(
+        "order,ndim",
+        [(SURFACE1D, 1), (SURFACE2D, 2), (SURFACE3D, 3)],
+    )
+    def test_optimal(self, order, ndim):
+        assert validate_order(order, ndim) == optimal_message_count(ndim)
+
+    @pytest.mark.parametrize(
+        "order,ndim",
+        [(SURFACE1D, 1), (SURFACE2D, 2), (SURFACE3D, 3)],
+    )
+    def test_is_permutation(self, order, ndim):
+        assert set(order) == set(all_regions(ndim))
+        assert len(order) == 3**ndim - 1
+
+    def test_surface2d_is_perimeter_walk(self):
+        """Consecutive ring entries share an edge (differ in one axis step)."""
+        vecs = [r.to_vector(2) for r in SURFACE2D]
+        for a, b in zip(vecs, vecs[1:]):
+            dist = abs(a[0] - b[0]) + abs(a[1] - b[1])
+            assert dist == 1
+
+
+class TestOrderHelpers:
+    def test_lexicographic_2d_needs_12(self):
+        assert messages_for_order(lexicographic_order(2), 2) == 12
+
+    def test_basic_order_is_permutation(self):
+        validate_order(basic_order(3), 3)
+
+    def test_grouped_order_is_permutation_and_helps(self):
+        order = grouped_order(3)
+        count = validate_order(order, 3)
+        assert count <= messages_for_order(lexicographic_order(3), 3) + 20
+        assert count >= optimal_message_count(3)
+
+    def test_surface_order_dispatch(self):
+        assert surface_order(2) == SURFACE2D
+        assert surface_order(3) == SURFACE3D
+
+    def test_surface_order_unpackaged_dim(self):
+        with pytest.raises(ValueError):
+            surface_order(4)
+
+    def test_validate_rejects_missing_region(self):
+        with pytest.raises(ValueError):
+            validate_order(SURFACE2D[:-1], 2)
+
+    def test_validate_rejects_duplicates(self):
+        broken = list(SURFACE2D)
+        broken[0] = broken[1]
+        with pytest.raises(ValueError):
+            validate_order(broken, 2)
+
+    def test_validate_rejects_wrong_dim(self):
+        with pytest.raises(ValueError):
+            validate_order(SURFACE2D, 3)

@@ -1,0 +1,56 @@
+"""Layout search: exhaustive proof and annealing."""
+
+import pytest
+
+from repro.layout.analysis import optimal_message_count
+from repro.layout.messages import messages_for_order
+from repro.layout.regions import all_regions
+from repro.layout.search import anneal_order, exhaustive_best_order
+
+
+class TestExhaustive:
+    def test_1d(self):
+        order, count = exhaustive_best_order(1)
+        assert count == 2
+        assert set(order) == set(all_regions(1))
+
+    @pytest.mark.slow
+    def test_2d_proves_eq1(self):
+        """Brute force over all 8! permutations confirms the Eq. 1 bound."""
+        order, count = exhaustive_best_order(2)
+        assert count == optimal_message_count(2) == 9
+        assert messages_for_order(order, 2) == 9
+
+    def test_3d_refused(self):
+        with pytest.raises(ValueError):
+            exhaustive_best_order(3)
+
+
+class TestAnnealing:
+    def test_2d_reaches_optimum(self):
+        order, count = anneal_order(2, seed=3, restarts=4, iters=1500, target=9)
+        assert count == 9
+        assert set(order) == set(all_regions(2))
+
+    def test_3d_reaches_optimum(self):
+        """This is how the packaged SURFACE3D constant was produced."""
+        order, count = anneal_order(
+            3, seed=0, restarts=20, iters=8000, target=42
+        )
+        assert count == 42
+        assert set(order) == set(all_regions(3))
+
+    def test_deterministic_given_seed(self):
+        a = anneal_order(2, seed=7, restarts=2, iters=500)
+        b = anneal_order(2, seed=7, restarts=2, iters=500)
+        assert a[1] == b[1]
+        assert a[0] == b[0]
+
+    def test_count_matches_order(self):
+        order, count = anneal_order(2, seed=1, restarts=2, iters=800)
+        assert messages_for_order(order, 2) == count
+
+    def test_never_worse_than_identity(self):
+        base = messages_for_order(all_regions(2), 2)
+        _, count = anneal_order(2, seed=5, restarts=1, iters=200)
+        assert count <= base

@@ -1,0 +1,156 @@
+"""Stencil kernels: array, brick and reference implementations agree."""
+
+import numpy as np
+import pytest
+
+from repro.brick.convert import bricks_to_extended, extended_shape, extended_to_bricks
+from repro.brick.decomp import BrickDecomp
+from repro.stencil.brick_kernels import apply_brick_stencil, gather_halo_batch
+from repro.stencil.kernels import apply_array_stencil, owned_slices
+from repro.stencil.reference import apply_periodic_reference
+from repro.stencil.spec import CUBE125, SEVEN_POINT, cube_stencil, star_stencil
+
+
+def _periodic_extended(global_arr, extent, ghost):
+    """Build an extended array whose ghosts hold the periodic wrap."""
+    pads = [(ghost, ghost)] * global_arr.ndim
+    return np.pad(global_arr, pads, mode="wrap")
+
+
+class TestArrayKernel:
+    @pytest.mark.parametrize("spec", [SEVEN_POINT, CUBE125])
+    def test_matches_reference_single_domain(self, spec):
+        rng = np.random.default_rng(0)
+        extent = (16, 16, 16)
+        g = 8
+        grid = rng.random(tuple(reversed(extent)))
+        ext = _periodic_extended(grid, extent, g)
+        out = np.zeros_like(ext)
+        apply_array_stencil(ext, out, spec, extent, g)
+        ref = apply_periodic_reference(grid, spec)
+        np.testing.assert_array_equal(out[owned_slices(extent, g)], ref)
+
+    def test_2d(self):
+        spec = star_stencil(2, 1)
+        rng = np.random.default_rng(1)
+        extent = (12, 8)
+        g = 2
+        grid = rng.random(tuple(reversed(extent)))
+        ext = _periodic_extended(grid, extent, g)
+        out = np.zeros_like(ext)
+        apply_array_stencil(ext, out, spec, extent, g)
+        ref = apply_periodic_reference(grid, spec)
+        np.testing.assert_array_equal(out[owned_slices(extent, g)], ref)
+
+    def test_radius_check(self):
+        spec = cube_stencil(3, 2)
+        ext = np.zeros((18, 18, 18))
+        with pytest.raises(ValueError):
+            apply_array_stencil(ext, ext.copy(), spec, (16, 16, 16), 1)
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError):
+            apply_array_stencil(
+                np.zeros((4, 4, 4)), np.zeros((4, 4, 4)), SEVEN_POINT,
+                (16, 16, 16), 8,
+            )
+
+    def test_ghosts_not_written(self):
+        extent, g = (16, 16, 16), 8
+        ext = np.random.default_rng(3).random(
+            tuple(e + 2 * g for e in extent)
+        )
+        out = np.full_like(ext, -1.0)
+        apply_array_stencil(ext, out, SEVEN_POINT, extent, g)
+        assert (out[0] == -1.0).all()  # ghost plane untouched
+
+
+class TestBrickKernel:
+    @pytest.mark.parametrize("spec", [SEVEN_POINT, CUBE125])
+    def test_matches_array_kernel(self, spec, small_decomp):
+        d = small_decomp
+        rng = np.random.default_rng(4)
+        ext = rng.random(extended_shape(d))
+        src, asn = d.allocate()
+        dst, _ = d.allocate()
+        extended_to_bricks(ext, d, src, asn)
+        info = d.brick_info(asn)
+        apply_brick_stencil(spec, src, dst, info, d.compute_slots(asn))
+
+        out_ref = np.zeros_like(ext)
+        apply_array_stencil(ext, out_ref, spec, d.extent, d.ghost_elems)
+        got = bricks_to_extended(d, dst, asn)
+        own = owned_slices(d.extent, d.ghost_elems)
+        np.testing.assert_array_equal(got[own], out_ref[own])
+
+    def test_layout_agnostic(self, small_decomp):
+        """Permuting brick order does not change results (Figure 10's
+        premise): compare the default optimal layout against the
+        lexicographic region order."""
+        from repro.layout.order import lexicographic_order
+
+        rng = np.random.default_rng(5)
+        ext = rng.random(extended_shape(small_decomp))
+        results = []
+        for layout in (None, lexicographic_order(3)):
+            d = BrickDecomp((32, 32, 32), (8, 8, 8), 8, layout=layout)
+            src, asn = d.allocate()
+            dst, _ = d.allocate()
+            extended_to_bricks(ext, d, src, asn)
+            apply_brick_stencil(
+                SEVEN_POINT, src, dst, d.brick_info(asn), d.compute_slots(asn)
+            )
+            results.append(bricks_to_extended(d, dst, asn))
+        own = owned_slices((32, 32, 32), 8)
+        np.testing.assert_array_equal(results[0][own], results[1][own])
+
+    def test_chunking_irrelevant(self, small_decomp):
+        d = small_decomp
+        ext = np.random.default_rng(6).random(extended_shape(d))
+        outs = []
+        for chunk in (7, 512):
+            src, asn = d.allocate()
+            dst, _ = d.allocate()
+            extended_to_bricks(ext, d, src, asn)
+            apply_brick_stencil(
+                SEVEN_POINT, src, dst, d.brick_info(asn),
+                d.compute_slots(asn), chunk=chunk,
+            )
+            outs.append(bricks_to_extended(d, dst, asn))
+        np.testing.assert_array_equal(outs[0], outs[1])
+
+    def test_radius_must_fit_brick(self, small_decomp):
+        d = small_decomp
+        src, asn = d.allocate()
+        big = cube_stencil(3, 2)
+        object.__setattr__(big, "taps", big.taps)  # no-op; radius comes from taps
+        bad = star_stencil(3, 9)
+        with pytest.raises(ValueError):
+            apply_brick_stencil(
+                bad, src, src, d.brick_info(asn), d.compute_slots(asn)
+            )
+
+
+class TestHaloGather:
+    def test_halo_contents(self, small_decomp):
+        d = small_decomp
+        ext = np.random.default_rng(7).random(extended_shape(d))
+        src, asn = d.allocate()
+        extended_to_bricks(ext, d, src, asn)
+        info = d.brick_info(asn)
+        slot = int(asn.grid_index[2, 2, 2])  # interior brick (1,1,1) signed
+        halo = gather_halo_batch(src, info, np.array([slot]), 2)
+        # halo block equals the extended array around that brick
+        np.testing.assert_array_equal(
+            halo[0], ext[8 * 2 - 2 : 8 * 3 + 2, 8 * 2 - 2 : 8 * 3 + 2, 8 * 2 - 2 : 8 * 3 + 2]
+        )
+
+    def test_radius_zero(self, small_decomp):
+        d = small_decomp
+        src, asn = d.allocate()
+        src.fill(3.0)
+        info = d.brick_info(asn)
+        slots = d.compute_slots(asn)[:4]
+        halo = gather_halo_batch(src, info, slots, 0)
+        assert halo.shape == (4, 8, 8, 8)
+        assert (halo == 3.0).all()

@@ -1,0 +1,84 @@
+"""Stencil specifications."""
+
+import pytest
+
+from repro.stencil.spec import (
+    CUBE125,
+    SEVEN_POINT,
+    StencilSpec,
+    cube_stencil,
+    star_stencil,
+)
+
+
+class TestPaperStencils:
+    def test_seven_point(self):
+        assert SEVEN_POINT.ntaps == 7
+        assert SEVEN_POINT.radius == 1
+        assert SEVEN_POINT.arithmetic_intensity == pytest.approx(8 / 16)
+
+    def test_cube125(self):
+        assert CUBE125.ntaps == 125
+        assert CUBE125.radius == 2
+        assert CUBE125.arithmetic_intensity == pytest.approx(139 / 16)
+
+    def test_cube125_symmetric_coefficient_classes(self):
+        """The paper's 125-pt stencil has 10 unique constants by symmetry."""
+        coeffs = CUBE125.coefficients()
+        classes = {}
+        for off, c in coeffs.items():
+            key = tuple(sorted(abs(o) for o in off))
+            classes.setdefault(key, set()).add(round(c, 12))
+        assert len(classes) == 10
+        for vals in classes.values():
+            assert len(vals) == 1  # symmetric taps share a coefficient
+
+    def test_cube125_normalized(self):
+        assert sum(c for _, c in CUBE125.taps) == pytest.approx(1.0)
+
+
+class TestConstructors:
+    def test_star_tap_count(self):
+        s = star_stencil(3, 2)
+        assert s.ntaps == 1 + 2 * 3 * 2
+        assert s.radius == 2
+
+    def test_star_custom_coefficients(self):
+        s = star_stencil(1, 1, coefficients=[0.5, 0.25, 0.25])
+        assert s.coefficients()[(0,)] == 0.5
+
+    def test_star_coefficient_count_check(self):
+        with pytest.raises(ValueError):
+            star_stencil(2, 1, coefficients=[1.0])
+
+    def test_cube_tap_count(self):
+        assert cube_stencil(2, 1).ntaps == 9
+
+    def test_cube_deterministic(self):
+        a = cube_stencil(3, 1, seed=5)
+        b = cube_stencil(3, 1, seed=5)
+        assert a.taps == b.taps
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            star_stencil(0, 1)
+        with pytest.raises(ValueError):
+            cube_stencil(2, 0)
+
+
+class TestValidation:
+    def test_duplicate_taps_rejected(self):
+        with pytest.raises(ValueError):
+            StencilSpec("x", 1, (((0,), 1.0), ((0,), 2.0)), 1, 1)
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            StencilSpec("x", 2, (((0,), 1.0),), 1, 1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            StencilSpec("x", 1, (), 1, 1)
+
+    def test_structural_flops_default(self):
+        s = star_stencil(3, 1, flops_per_point=None)
+        assert s.flops_per_point == 2 * 7 - 1

@@ -1,0 +1,128 @@
+"""BitSet: direction-set notation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bitset import BitSet
+
+
+class TestConstruction:
+    def test_empty(self):
+        b = BitSet()
+        assert len(b) == 0
+        assert not b
+
+    def test_simple(self):
+        b = BitSet([-1, 2])
+        assert -1 in b
+        assert 2 in b
+        assert 1 not in b
+        assert len(b) == 2
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            BitSet([0])
+
+    def test_conflicting_directions_rejected(self):
+        with pytest.raises(ValueError):
+            BitSet([1, -1])
+
+    def test_duplicates_collapse(self):
+        assert BitSet([2, 2]) == BitSet([2])
+
+    def test_from_vector(self):
+        assert BitSet.from_vector((-1, 0, 1)) == BitSet([-1, 3])
+
+    def test_from_vector_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            BitSet.from_vector((2, 0))
+
+    def test_to_vector_roundtrip(self):
+        vec = (-1, 1, 0)
+        assert BitSet.from_vector(vec).to_vector(3) == vec
+
+    def test_to_vector_too_small(self):
+        with pytest.raises(ValueError):
+            BitSet([3]).to_vector(2)
+
+
+class TestSetOps:
+    def test_equality_and_hash(self):
+        assert BitSet([1, -2]) == BitSet([-2, 1])
+        assert hash(BitSet([1, -2])) == hash(BitSet([-2, 1]))
+        assert BitSet([1]) != BitSet([-1])
+
+    def test_subset(self):
+        assert BitSet([-1]).issubset(BitSet([-1, -2]))
+        assert not BitSet([1]).issubset(BitSet([-1, -2]))
+        assert BitSet().issubset(BitSet([1]))
+
+    def test_superset(self):
+        assert BitSet([-1, -2]).issuperset(BitSet([-2]))
+
+    def test_union_intersection(self):
+        a, b = BitSet([1]), BitSet([-2])
+        assert a.union(b) == BitSet([1, -2])
+        assert a.intersection(b) == BitSet()
+
+    def test_union_conflict_raises(self):
+        with pytest.raises(ValueError):
+            BitSet([1]).union(BitSet([-1]))
+
+    def test_iteration_sorted_by_axis(self):
+        assert list(BitSet([3, -1, 2])) == [-1, 2, 3]
+
+
+class TestDomainSemantics:
+    def test_axes(self):
+        assert BitSet([-3, 1]).axes() == (1, 3)
+
+    def test_direction(self):
+        b = BitSet([-1, 2])
+        assert b.direction(1) == -1
+        assert b.direction(2) == 1
+        assert b.direction(3) == 0
+
+    def test_opposite(self):
+        assert BitSet([-1, 2]).opposite() == BitSet([1, -2])
+        assert BitSet().opposite() == BitSet()
+
+    def test_covers_neighbor_paper_example(self):
+        # Figure 2: region 1 = r({A1-, A2-}) is sent to three neighbors.
+        corner = BitSet([-1, -2])
+        assert corner.covers_neighbor(BitSet([-1]))
+        assert corner.covers_neighbor(BitSet([-2]))
+        assert corner.covers_neighbor(BitSet([-1, -2]))
+        assert not corner.covers_neighbor(BitSet([1]))
+        # The empty set is the interior, never a neighbor.
+        assert not corner.covers_neighbor(BitSet())
+
+    def test_edge_region_covers_only_one(self):
+        # Region 4 = r({A1-}) is sent only to the left neighbor.
+        edge = BitSet([-1])
+        assert edge.covers_neighbor(BitSet([-1]))
+        assert not edge.covers_neighbor(BitSet([-1, -2]))
+
+    def test_notation(self):
+        assert BitSet([-1, 2]).notation() == "{A1-, A2+}"
+        assert BitSet().notation() == "{}"
+
+    def test_repr_roundtrippable_content(self):
+        assert "-1" in repr(BitSet([-1]))
+
+
+@given(st.lists(st.integers(1, 5), unique=True, max_size=5), st.data())
+def test_vector_roundtrip_property(axes, data):
+    elems = [axis * data.draw(st.sampled_from([-1, 1])) for axis in axes]
+    b = BitSet(elems)
+    ndim = max(axes) if axes else 1
+    assert BitSet.from_vector(b.to_vector(ndim)) == b
+
+
+@given(st.integers(1, 4), st.data())
+def test_opposite_involution(ndim, data):
+    vec = tuple(data.draw(st.sampled_from([-1, 0, 1])) for _ in range(ndim))
+    b = BitSet.from_vector(vec)
+    assert b.opposite().opposite() == b
+    assert b.opposite().to_vector(ndim) == tuple(-v for v in vec)

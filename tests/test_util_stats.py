@@ -1,0 +1,65 @@
+"""MinAvgMax summaries and aggregation."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import MinAvgMax, geometric_mean, summarize
+
+
+class TestSummarize:
+    def test_single(self):
+        s = summarize([2.0])
+        assert s.min == s.avg == s.max == 2.0
+        assert s.std == 0.0
+        assert s.n == 1
+
+    def test_known_values(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.min == 1.0
+        assert s.avg == 2.0
+        assert s.max == 3.0
+        assert s.std == pytest.approx(math.sqrt(2.0 / 3.0))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_scaled(self):
+        s = summarize([1.0, 3.0]).scaled(2.0)
+        assert (s.min, s.avg, s.max) == (2.0, 4.0, 6.0)
+
+    def test_format(self):
+        text = f"{summarize([1.0, 2.0]):.2f}"
+        assert "[1.00, 1.50, 2.00]" in text
+
+
+class TestGeometricMean:
+    def test_known(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+
+@given(st.lists(st.floats(0.001, 1e6), min_size=1, max_size=50))
+def test_summary_invariants(values):
+    s = summarize(values)
+    # tolerate the last-ulp rounding of the mean computation
+    eps = 1e-12 * max(abs(s.min), abs(s.max), 1.0)
+    assert s.min - eps <= s.avg <= s.max + eps
+    assert s.std >= 0.0
+    assert s.n == len(values)
+
+
+@given(st.lists(st.floats(0.001, 1e3), min_size=1, max_size=20))
+def test_geometric_mean_between_min_and_max(values):
+    g = geometric_mean(values)
+    assert min(values) * (1 - 1e-9) <= g <= max(values) * (1 + 1e-9)

@@ -1,0 +1,89 @@
+"""Arena/view lifecycle: close semantics, budgets, large mappings."""
+
+import numpy as np
+import pytest
+
+from repro.vmem import SimArena, default_arena, realmap_available
+
+PAGE = 4096
+
+
+class TestLifecycle:
+    @pytest.fixture(params=["sim", "real"])
+    def arena(self, request):
+        if request.param == "real" and not realmap_available():
+            pytest.skip("real arena unavailable")
+        make = SimArena if request.param == "sim" else default_arena
+        a = make(64 * PAGE, PAGE)
+        yield a
+        a.close()
+
+    def test_close_view_then_arena(self, arena):
+        v = arena.make_view([(0, PAGE)])
+        v.close()
+        v.close()  # idempotent
+        with pytest.raises(ValueError):
+            v.array()
+
+    def test_arena_close_closes_views(self, arena):
+        v = arena.make_view([(0, PAGE)])
+        arena.close()
+        with pytest.raises(ValueError):
+            v.array()
+
+    def test_many_views(self, arena):
+        """Dozens of simultaneous views (an exchange holds 2 x 26)."""
+        views = [
+            arena.make_view([(p * PAGE, PAGE)]) for p in range(60)
+        ]
+        arena.buffer.view(np.float64)[: PAGE // 8] = 5.0
+        views[0].refresh()
+        assert views[0].array(np.float64)[0] == 5.0
+        assert arena.mapping_count == 1 + 60
+        for v in views:
+            v.close()
+
+    def test_view_spanning_whole_arena(self, arena):
+        v = arena.make_view([(0, 64 * PAGE)])
+        assert v.nbytes == 64 * PAGE
+
+    def test_interleaved_reads_writes(self, arena):
+        """Two views of the same page stay coherent through the
+        refresh/flush protocol on both arena kinds."""
+        v1 = arena.make_view([(3 * PAGE, PAGE)])
+        v2 = arena.make_view([(3 * PAGE, PAGE)])
+        a1 = v1.array(np.float64)
+        a1[:] = 7.0
+        v1.flush()
+        v2.refresh()
+        assert v2.array(np.float64)[0] == 7.0
+
+
+class TestPartialFlush:
+    def test_sim_flush_prefix_only(self):
+        arena = SimArena(8 * PAGE, PAGE)
+        v = arena.make_view([(0, PAGE), (4 * PAGE, PAGE)])
+        a = v.array(np.float64)
+        a[:] = 9.0
+        v.flush(up_to_bytes=PAGE)  # only the first page writes back
+        phys = arena.buffer.view(np.float64)
+        assert phys[0] == 9.0
+        assert phys[4 * PAGE // 8] == 0.0
+        arena.close()
+
+    def test_sim_flush_prefix_must_be_page_multiple(self):
+        arena = SimArena(4 * PAGE, PAGE)
+        v = arena.make_view([(0, 2 * PAGE)])
+        with pytest.raises(ValueError):
+            v.flush(up_to_bytes=100)
+        arena.close()
+
+    def test_real_flush_prefix_noop(self):
+        if not realmap_available():
+            pytest.skip("real arena unavailable")
+        arena = default_arena(4 * PAGE, PAGE)
+        v = arena.make_view([(0, PAGE)])
+        v.array(np.float64)[0] = 3.0
+        v.flush(up_to_bytes=PAGE)  # aliased anyway
+        assert arena.buffer.view(np.float64)[0] == 3.0
+        arena.close()

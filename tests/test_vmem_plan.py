@@ -1,0 +1,86 @@
+"""View planning: padding accounting and chunk coalescing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.vmem.layout_plan import align_up, plan_view
+
+
+class TestAlignUp:
+    @pytest.mark.parametrize(
+        "n,page,expected",
+        [(0, 4096, 0), (1, 4096, 4096), (4096, 4096, 4096), (4097, 4096, 8192)],
+    )
+    def test_values(self, n, page, expected):
+        assert align_up(n, page) == expected
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            align_up(-1, 4096)
+        with pytest.raises(ValueError):
+            align_up(1, 0)
+
+
+class TestPlanView:
+    def test_exact_pages_no_padding(self):
+        plan = plan_view([(0, 4096), (8192, 8192)], 4096)
+        assert plan.padding_bytes == 0
+        assert plan.mapped_bytes == plan.payload_bytes == 12288
+
+    def test_padding_accounted(self):
+        # A 512-byte region on 4 KiB pages wastes 7/8 of the page --
+        # the paper's Section 4 example (4^3 doubles).
+        plan = plan_view([(0, 512)], 4096)
+        assert plan.mapped_bytes == 4096
+        assert plan.padding_fraction == pytest.approx(7.0)
+
+    def test_adjacent_chunks_coalesce(self):
+        plan = plan_view([(0, 4096), (4096, 4096), (8192, 4096)], 4096)
+        assert plan.mapping_count == 1
+        assert plan.chunks == ((0, 12288),)
+
+    def test_gap_prevents_coalescing(self):
+        plan = plan_view([(0, 4096), (8192, 4096)], 4096)
+        assert plan.mapping_count == 2
+
+    def test_coalesce_disabled(self):
+        plan = plan_view([(0, 4096), (4096, 4096)], 4096, coalesce=False)
+        assert plan.mapping_count == 2
+        assert plan.mapped_bytes == 8192
+
+    def test_unaligned_offset_rejected(self):
+        with pytest.raises(ValueError):
+            plan_view([(100, 4096)], 4096)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            plan_view([(0, 0)], 4096)
+
+    def test_padding_after_short_region_breaks_coalescing_correctly(self):
+        # region of 1000 bytes padded to 4096; next region at 4096 is
+        # adjacent to the padded end, so they coalesce.
+        plan = plan_view([(0, 1000), (4096, 4096)], 4096)
+        assert plan.mapping_count == 1
+        assert plan.payload_bytes == 5096
+        assert plan.mapped_bytes == 8192
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 63), st.integers(1, 3 * 4096)),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_plan_invariants(ranges):
+    byte_ranges = [(p * 4096, n) for p, n in ranges]
+    plan = plan_view(byte_ranges, 4096)
+    assert plan.payload_bytes == sum(n for _, n in ranges)
+    assert plan.mapped_bytes >= plan.payload_bytes
+    assert plan.mapped_bytes % 4096 == 0
+    assert plan.mapping_count <= len(ranges)
+    # chunks are disjoint in the virtual window by construction and all
+    # page aligned
+    for off, length in plan.chunks:
+        assert off % 4096 == 0 and length % 4096 == 0

@@ -1,0 +1,200 @@
+"""Stitched views: real mmap vs simulated page table.
+
+The critical property: both implementations expose identical data through
+identical interfaces, so every exchange result is independent of which one
+backs the storage.  The real one must additionally prove genuine aliasing
+(no copies).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vmem import SimArena, default_arena, realmap_available
+from repro.vmem.arena import NumpyArena
+
+PAGE = 4096
+NPAGES = 32
+
+pytestmark = []
+
+
+def _filled_arena(make):
+    arena = make(NPAGES * PAGE, PAGE)
+    per = PAGE // 8
+    phys = arena.buffer.view(np.float64)
+    for p in range(NPAGES):
+        phys[p * per : (p + 1) * per] = float(p)
+    return arena
+
+
+@pytest.fixture(params=["sim", "real"])
+def arena(request):
+    if request.param == "real":
+        if not realmap_available():
+            pytest.skip("memfd/MAP_FIXED unavailable")
+        a = _filled_arena(lambda n, p: default_arena(n, p))
+        if isinstance(a, SimArena):
+            pytest.skip("default arena is not the real one here")
+    else:
+        a = _filled_arena(SimArena)
+    yield a
+    a.close()
+
+
+class TestViewContents:
+    def test_reordered_pages(self, arena):
+        v = arena.make_view([(5 * PAGE, PAGE), (2 * PAGE, PAGE), (9 * PAGE, PAGE)])
+        a = v.array(np.float64)
+        per = PAGE // 8
+        assert a[0] == 5.0 and a[per] == 2.0 and a[2 * per] == 9.0
+        assert a.size == 3 * per
+
+    def test_repeated_mapping(self, arena):
+        """The same physical page may appear in several views/positions --
+        exactly how overlapping surface regions are sent to multiple
+        neighbors with one copy of the data."""
+        v = arena.make_view([(3 * PAGE, PAGE), (3 * PAGE, PAGE)])
+        a = v.array(np.float64)
+        per = PAGE // 8
+        assert np.array_equal(a[:per], a[per:])
+
+    def test_write_through_view_visible_in_arena(self, arena):
+        v = arena.make_view([(7 * PAGE, PAGE)])
+        a = v.array(np.float64)
+        a[3] = 123.5
+        v.flush()
+        assert arena.buffer.view(np.float64)[7 * PAGE // 8 + 3] == 123.5
+
+    def test_arena_write_visible_in_view(self, arena):
+        v = arena.make_view([(4 * PAGE, PAGE)])
+        arena.buffer.view(np.float64)[4 * PAGE // 8] = -7.0
+        v.refresh()
+        assert v.array(np.float64)[0] == -7.0
+
+    def test_multi_page_chunk(self, arena):
+        v = arena.make_view([(2 * PAGE, 3 * PAGE)])
+        a = v.array(np.float64)
+        per = PAGE // 8
+        assert a[0] == 2.0 and a[per] == 3.0 and a[2 * per] == 4.0
+
+
+class TestViewValidation:
+    def test_unaligned_offset_rejected(self, arena):
+        with pytest.raises(ValueError):
+            arena.make_view([(100, PAGE)])
+
+    def test_unaligned_length_rejected(self, arena):
+        with pytest.raises(ValueError):
+            arena.make_view([(0, 100)])
+
+    def test_out_of_bounds_rejected(self, arena):
+        with pytest.raises(ValueError):
+            arena.make_view([(NPAGES * PAGE, PAGE)])
+
+    def test_empty_rejected(self, arena):
+        with pytest.raises(ValueError):
+            arena.make_view([])
+
+    def test_closed_view_refuses_access(self, arena):
+        v = arena.make_view([(0, PAGE)])
+        v.close()
+        with pytest.raises(ValueError):
+            v.array()
+
+
+class TestRealAliasing:
+    def test_zero_copy_no_flush_needed(self):
+        if not realmap_available():
+            pytest.skip("memfd/MAP_FIXED unavailable")
+        arena = _filled_arena(default_arena)
+        try:
+            v = arena.make_view([(1 * PAGE, PAGE)])
+            assert v.zero_copy
+            a = v.array(np.float64)
+            # No refresh: arena writes appear instantly.
+            arena.buffer.view(np.float64)[PAGE // 8 + 5] = 42.0
+            assert a[5] == 42.0
+            # No flush: view writes appear instantly.
+            a[6] = 43.0
+            assert arena.buffer.view(np.float64)[PAGE // 8 + 6] == 43.0
+        finally:
+            arena.close()
+
+    def test_sim_is_not_aliased(self):
+        arena = _filled_arena(SimArena)
+        v = arena.make_view([(0, PAGE)])
+        assert not v.zero_copy
+        arena.buffer.view(np.float64)[0] = 99.0
+        assert v.array(np.float64)[0] != 99.0  # until refresh
+        v.refresh()
+        assert v.array(np.float64)[0] == 99.0
+        arena.close()
+
+
+class TestEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, NPAGES - 2), st.integers(1, 2)),
+            min_size=1,
+            max_size=8,
+        ),
+        st.integers(0, 2**32 - 1),
+    )
+    def test_real_and_sim_views_identical(self, chunks, seed):
+        """Property: any chunk list yields identical view contents on both
+        arenas; write-back is additionally identical when no physical page
+        is mapped twice.  (Writing *different* values through two aliases
+        of one page is a data race with unspecified order even on the real
+        mapping -- glibc may copy in either direction -- and the exchange
+        never does it: recv views map disjoint ghost pages.)"""
+        if not realmap_available():
+            pytest.skip("memfd/MAP_FIXED unavailable")
+        rng = np.random.default_rng(seed)
+        content = rng.random(NPAGES * PAGE // 8)
+        byte_chunks = [(p * PAGE, n * PAGE) for p, n in chunks]
+        covered = [set(range(p, p + n)) for p, n in chunks]
+        has_overlap = sum(len(c) for c in covered) != len(set().union(*covered))
+
+        results = []
+        for make in (default_arena, SimArena):
+            arena = make(NPAGES * PAGE, PAGE)
+            arena.buffer.view(np.float64)[:] = content
+            v = arena.make_view(byte_chunks)
+            v.refresh()
+            a = v.array(np.float64).copy()
+            phys = None
+            if not has_overlap:
+                # write a pattern through the view, read the arena back
+                v.array(np.float64)[:] = np.arange(
+                    v.nbytes // 8, dtype=np.float64
+                )
+                v.flush()
+                phys = arena.buffer.view(np.float64).copy()
+            results.append((a, phys))
+            arena.close()
+        (a_real, phys_real), (a_sim, phys_sim) = results
+        np.testing.assert_array_equal(a_real, a_sim)
+        if not has_overlap:
+            np.testing.assert_array_equal(phys_real, phys_sim)
+
+
+class TestArenaBasics:
+    def test_numpy_arena_cannot_map(self):
+        arena = NumpyArena(4 * PAGE, PAGE)
+        with pytest.raises(NotImplementedError):
+            arena.make_view([(0, PAGE)])
+
+    def test_size_must_be_page_multiple(self):
+        with pytest.raises(ValueError):
+            NumpyArena(PAGE + 1, PAGE)
+
+    def test_mapping_count(self):
+        arena = SimArena(8 * PAGE, PAGE)
+        assert arena.mapping_count == 1
+        arena.make_view([(0, PAGE), (2 * PAGE, PAGE)])
+        assert arena.mapping_count == 3
+        arena.close()
+        assert arena.mapping_count == 1
