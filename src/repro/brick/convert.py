@@ -13,7 +13,7 @@ equal element-for-element.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -26,6 +26,7 @@ __all__ = [
     "element_permutation",
     "extended_to_bricks",
     "bricks_to_extended",
+    "conversion_scratch",
 ]
 
 def extended_shape(decomp: "BrickDecomp") -> Tuple[int, ...]:
@@ -111,7 +112,44 @@ def bricks_to_extended(
     storage: "BrickStorage",
     assignment: "SlotAssignment",
     fld: int = 0,
+    out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
-    """Gather brick storage back into a fresh extended array."""
+    """Gather brick storage back into an extended array.
+
+    Pass *out* (e.g. :func:`conversion_scratch`) to reuse a destination
+    across repeated conversions instead of allocating a fresh array; the
+    gather then runs as one ``np.take`` straight into it.
+    """
     perm = element_permutation(decomp, assignment, fld)
-    return storage.data.reshape(-1)[perm]
+    if out is None:
+        return storage.data.reshape(-1)[perm]
+    if out.shape != perm.shape:
+        raise ValueError(
+            f"expected extended array of shape {perm.shape}, got {out.shape}"
+        )
+    if out.dtype != storage.dtype:
+        raise ValueError(
+            f"scratch dtype {out.dtype} != storage dtype {storage.dtype}"
+        )
+    np.take(storage.data.reshape(-1), perm, out=out)
+    return out
+
+
+def conversion_scratch(decomp: "BrickDecomp", dtype=None) -> np.ndarray:
+    """Reusable extended-shape scratch array, cached on the decomp.
+
+    One array per (decomp, dtype); callers that convert repeatedly (the
+    executed driver, benchmarks) avoid re-allocating the whole extended
+    domain every time.  Contents are whatever the last conversion left --
+    callers own the data discipline, and must not share one decomp's
+    scratch across threads.
+    """
+    cache: Dict[str, np.ndarray] = decomp.__dict__.setdefault(
+        "_convert_scratch_cache", {}
+    )
+    dt = np.dtype(dtype) if dtype is not None else decomp.dtype
+    scratch = cache.get(dt.str)
+    if scratch is None:
+        scratch = np.empty(extended_shape(decomp), dtype=dt)
+        cache[dt.str] = scratch
+    return scratch

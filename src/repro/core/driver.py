@@ -18,7 +18,11 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.brick.convert import bricks_to_extended, extended_to_bricks
+from repro.brick.convert import (
+    bricks_to_extended,
+    conversion_scratch,
+    extended_to_bricks,
+)
 from repro.brick.decomp import BrickDecomp
 from repro.core.expansion import (
     brick_cycle_slots,
@@ -29,6 +33,7 @@ from repro.core.methods import MethodInfo, method_info
 from repro.core.metrics import RankMetrics, RunMetrics
 from repro.core.model import (
     compute_time,
+    compute_time_table,
     exchange_breakdown,
     make_transport,
     model_timestep,
@@ -46,7 +51,12 @@ from repro.simmpi.fabric import SimFabric
 from repro.simmpi.launcher import run_spmd
 from repro.stencil.brick_kernels import apply_brick_stencil
 from repro.stencil.kernels import apply_array_stencil, owned_slices
-from repro.util.timing import TimeBreakdown
+from repro.stencil.plan import (
+    compile_array_plan,
+    compile_brick_plan,
+    plans_enabled,
+)
+from repro.util.timing import PhaseTimer, TimeBreakdown
 
 __all__ = ["ExecutedRun", "run_executed"]
 
@@ -124,10 +134,15 @@ def _modelled_totals(
         )
         um_penalty = transport.compute_penalty(recvs)
 
+    # Per-cycle-position kernel times, priced once (the timing analogue
+    # of the compiled execution plans: O(period) model evaluations, not
+    # O(timesteps)).  Accumulation order is unchanged, so totals stay
+    # bit-identical to the per-step evaluation.
+    calc_table = compute_time_table(profile, info, computed_points, spec)
     totals = TimeBreakdown()
     for t in range(timesteps):
         pos = t % period
-        calc = compute_time(profile, info, computed_points[pos], spec)
+        calc = calc_table[pos]
         if pos == 0:
             calc += um_penalty
             wait = exch.wait
@@ -150,6 +165,7 @@ def _rank_fn(
     seed: int,
     page_size: Optional[int],
     exchange_period,
+    use_plans: bool,
 ):
     info = method_info(method)
     cart = comm.Create_cart(
@@ -166,6 +182,7 @@ def _rank_fn(
     owned_points = problem.points_per_rank
 
     counters = {"msgs": 0, "wire": 0, "payload": 0, "maps": 0}
+    timer = PhaseTimer()  # measured wall-clock of the real kernel path
 
     if not info.uses_bricks:
         period = _resolve_period(exchange_period, g // spec.radius, "element")
@@ -181,6 +198,16 @@ def _rank_fn(
             _make_exchanger(info, cart, problem, profile, arr, None, page_size)
             for arr in (a, b)
         ]
+        # Compiled execution plans: per-step slice derivation, tap-loop
+        # temporaries and kernel dispatch all hoisted out of the loop.
+        plans = (
+            [
+                compile_array_plan(spec, ext, g, margins[pos], problem.dtype)
+                for pos in range(period)
+            ]
+            if use_plans
+            else None
+        )
         src, dst = 0, 1
         arrays = [a, b]
         for t in range(timesteps):
@@ -190,9 +217,14 @@ def _rank_fn(
                 counters["msgs"] += res.messages_sent
                 counters["wire"] += res.wire_bytes_sent
                 counters["payload"] += res.payload_bytes_sent
-            apply_array_stencil(
-                arrays[src], arrays[dst], spec, ext, g, margin=margins[pos]
-            )
+            with timer.phase("calc"):
+                if plans is not None:
+                    plans[pos].execute(arrays[src], arrays[dst])
+                else:
+                    apply_array_stencil(
+                        arrays[src], arrays[dst], spec, ext, g,
+                        margin=margins[pos],
+                    )
             src, dst = dst, src
         result = arrays[src][own_slc].copy()
     else:
@@ -227,6 +259,19 @@ def _rank_fn(
         tmp = np.zeros(ext_shape, dtype=problem.dtype)
         tmp[own_slc] = owned
         extended_to_bricks(tmp, decomp, sa, asn)
+        # Compiled execution plans: fused gather tables, persistent
+        # halo/accumulator buffers and the specialized batch kernel,
+        # built once per cycle position.
+        plans = (
+            [
+                compile_brick_plan(
+                    spec, binfo, cycle_slots[pos], 0, problem.dtype
+                )
+                for pos in range(period)
+            ]
+            if use_plans
+            else None
+        )
         src, dst = 0, 1
         for t in range(timesteps):
             pos = t % period
@@ -235,13 +280,20 @@ def _rank_fn(
                 counters["msgs"] += res.messages_sent
                 counters["wire"] += res.wire_bytes_sent
                 counters["payload"] += res.payload_bytes_sent
-            apply_brick_stencil(
-                spec, storages[src], storages[dst], binfo, cycle_slots[pos]
-            )
+            with timer.phase("calc"):
+                if plans is not None:
+                    plans[pos].execute(storages[src], storages[dst])
+                else:
+                    apply_brick_stencil(
+                        spec, storages[src], storages[dst], binfo,
+                        cycle_slots[pos],
+                    )
             src, dst = dst, src
         if info.base == "memmap":
             counters["maps"] = exchangers[0].mapping_count
-        result = bricks_to_extended(decomp, storages[src], asn)[own_slc].copy()
+        result = bricks_to_extended(
+            decomp, storages[src], asn, out=conversion_scratch(decomp)
+        )[own_slc].copy()
         for ex in exchangers:
             close = getattr(ex, "close", None)
             if close:
@@ -256,6 +308,7 @@ def _rank_fn(
         "coords": cart.coords,
         "result": result,
         "totals": totals,
+        "measured": timer.breakdown,
         "counters": counters,
         "period": period,
     }
@@ -288,6 +341,7 @@ def run_executed(
     seed: int = 0,
     page_size: Optional[int] = None,
     exchange_period=None,
+    use_plans: Optional[bool] = None,
 ) -> ExecutedRun:
     """Run the problem end-to-end on simulated ranks; see module docs.
 
@@ -296,6 +350,11 @@ def run_executed(
     expansion / communication avoiding).  ``"auto"`` uses the maximum
     period the ghost width supports; the default (None) exchanges every
     step as the paper's main experiments do.
+
+    *use_plans*: run the timestep loop through compiled execution plans
+    (:mod:`repro.stencil.plan`) -- the default -- or force the generic
+    kernels with ``False``.  ``None`` defers to the ``REPRO_NO_PLAN``
+    environment variable.  Results are bit-identical either way.
     """
     if timesteps <= 0:
         raise ValueError("timesteps must be positive")
@@ -317,6 +376,7 @@ def run_executed(
         seed,
         page_size,
         exchange_period,
+        plans_enabled(use_plans),
         fabric=fabric,
     )
 
@@ -327,7 +387,12 @@ def run_executed(
         global_result[problem.owned_slices(out["coords"])] = out["result"]
 
     ranks = [
-        RankMetrics(rank=i, timesteps=timesteps, totals=out["totals"])
+        RankMetrics(
+            rank=i,
+            timesteps=timesteps,
+            totals=out["totals"],
+            measured=out["measured"],
+        )
         for i, out in enumerate(outs)
     ]
     metrics = RunMetrics(

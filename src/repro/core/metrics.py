@@ -10,7 +10,7 @@ GPU staging and communication/computation totals used by the figures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.util.stats import MinAvgMax, summarize
 from repro.util.timing import PHASES, TimeBreakdown
@@ -20,11 +20,19 @@ __all__ = ["RankMetrics", "RunMetrics"]
 
 @dataclass
 class RankMetrics:
-    """One rank's accumulated phase times over a run."""
+    """One rank's accumulated phase times over a run.
+
+    ``totals`` holds *modelled* virtual seconds (the single source of
+    truth for figures); ``measured``, when present, holds wall-clock
+    seconds the executed driver's :class:`~repro.util.timing.PhaseTimer`
+    captured around the real kernel path -- how the plan-vs-generic
+    speedup is observed without perturbing the model.
+    """
 
     rank: int
     timesteps: int
     totals: TimeBreakdown
+    measured: Optional[TimeBreakdown] = None
 
     def per_timestep(self) -> TimeBreakdown:
         if self.timesteps <= 0:
@@ -67,6 +75,16 @@ class RunMetrics:
     @property
     def move(self) -> MinAvgMax:
         return self.phase("move")
+
+    @property
+    def measured_calc(self) -> Optional[MinAvgMax]:
+        """Across-rank wall-clock kernel time per timestep, when the
+        executed driver recorded it (None for model-only runs)."""
+        if not self.ranks or any(r.measured is None for r in self.ranks):
+            return None
+        return summarize(
+            r.measured.calc / r.timesteps for r in self.ranks
+        )
 
     @property
     def comm_time(self) -> float:

@@ -37,7 +37,13 @@ from repro.stencil.spec import StencilSpec
 from repro.util.bitset import BitSet
 from repro.util.timing import TimeBreakdown
 
-__all__ = ["compute_time", "exchange_breakdown", "model_timestep", "make_transport"]
+__all__ = [
+    "compute_time",
+    "compute_time_table",
+    "exchange_breakdown",
+    "model_timestep",
+    "make_transport",
+]
 
 
 def make_transport(info: MethodInfo, profile: MachineProfile) -> Optional[GpuTransport]:
@@ -87,6 +93,26 @@ def compute_time(
     return model.stencil_time(
         points, stencil.flops_per_point, stencil.bytes_per_point
     )
+
+
+def compute_time_table(
+    profile: MachineProfile,
+    info: MethodInfo,
+    points_per_position: Sequence[int],
+    stencil: StencilSpec,
+) -> List[float]:
+    """Kernel time per exchange-cycle position, evaluated once.
+
+    The timing analogue of a compiled execution plan
+    (:mod:`repro.stencil.plan`): the executed driver's accounting loop
+    looks the per-step cost up in this table instead of re-pricing the
+    roofline model every timestep, so the modelled bookkeeping is
+    ``O(period)`` model evaluations rather than ``O(timesteps)``.
+    """
+    return [
+        compute_time(profile, info, int(points), stencil)
+        for points in points_per_position
+    ]
 
 
 def _schedules(

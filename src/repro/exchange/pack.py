@@ -60,13 +60,19 @@ class PackExchanger(Exchanger):
         for neighbor in all_regions(ndim):
             send_slc = box_slices(neighbor_send_box(neighbor, self.extent, self.ghost))
             recv_slc = box_slices(neighbor_recv_box(neighbor, self.extent, self.ghost))
-            count = int(np.prod(array[send_slc].shape))
+            box_shape = array[send_slc].shape
+            count = int(np.prod(box_shape))
             rank = comm.neighbor_rank(neighbor.to_vector(ndim))
             if rank is None:
                 # Non-periodic boundary: nothing to exchange with this
                 # neighbor; the ghost box keeps whatever boundary
                 # condition the application wrote there.
                 continue
+            # Persistent staging: the flat buffers go on the wire; the
+            # box-shaped reshapes of the same memory let pack/unpack run
+            # as one strided copy each, with no per-step temporaries.
+            send_buf = np.empty(count, dtype=array.dtype)
+            recv_buf = np.empty(count, dtype=array.dtype)
             self._plan.append(
                 {
                     "neighbor": neighbor,
@@ -79,8 +85,10 @@ class PackExchanger(Exchanger):
                     "recv_tag": exchange_tag(
                         direction_index(neighbor.to_vector(ndim)), 0
                     ),
-                    "send_buf": np.empty(count, dtype=array.dtype),
-                    "recv_buf": np.empty(count, dtype=array.dtype),
+                    "send_buf": send_buf,
+                    "recv_buf": recv_buf,
+                    "send_view": send_buf.reshape(box_shape),
+                    "recv_view": recv_buf.reshape(box_shape),
                 }
             )
         planned = {p["neighbor"] for p in self._plan}
@@ -98,12 +106,12 @@ class PackExchanger(Exchanger):
             reqs.append(self.comm.Irecv(p["recv_buf"], p["rank"], p["recv_tag"]))
         # Phase 2: pack and send.
         for p in self._plan:
-            p["send_buf"][:] = arr[p["send_slices"]].reshape(-1)  # the pack
+            np.copyto(p["send_view"], arr[p["send_slices"]])  # the pack
             reqs.append(self.comm.Isend(p["send_buf"], p["rank"], p["send_tag"]))
         self.comm.Waitall(reqs)
         # Phase 3: unpack.
         for p in self._plan:
-            arr[p["recv_slices"]] = p["recv_buf"].reshape(arr[p["recv_slices"]].shape)
+            arr[p["recv_slices"]] = p["recv_view"]
 
         breakdown = TimeBreakdown()
         breakdown.charge("pack", self._pack_cost(self._specs) * 2)  # pack+unpack

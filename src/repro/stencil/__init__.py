@@ -19,7 +19,16 @@ from repro.stencil.kernels import apply_array_stencil
 from repro.stencil.brick_kernels import apply_brick_stencil, gather_halo_batch
 from repro.stencil.codegen import (
     generate_array_kernel,
+    generate_array_plan_kernel,
     generate_batch_kernel,
+    generate_batch_plan_kernel,
+)
+from repro.stencil.plan import (
+    ArrayStencilPlan,
+    BrickStencilPlan,
+    compile_array_plan,
+    compile_brick_plan,
+    plans_enabled,
 )
 from repro.stencil.reference import apply_periodic_reference
 
@@ -27,13 +36,20 @@ __all__ = [
     "CUBE125",
     "SEVEN_POINT",
     "TWENTY_FIVE_POINT_2D",
+    "ArrayStencilPlan",
+    "BrickStencilPlan",
     "StencilSpec",
     "apply_array_stencil",
     "apply_brick_stencil",
     "apply_periodic_reference",
+    "compile_array_plan",
+    "compile_brick_plan",
     "cube_stencil",
     "gather_halo_batch",
     "generate_array_kernel",
+    "generate_array_plan_kernel",
     "generate_batch_kernel",
+    "generate_batch_plan_kernel",
+    "plans_enabled",
     "star_stencil",
 ]

@@ -46,10 +46,15 @@ def gather_halo_batch(
     """Bricks *slots* with a *radius*-deep halo, shape
     ``(len(slots), bd_D + 2r, ..., bd_1 + 2r)``.
 
-    Halo cells whose source brick does not exist (adjacency -1) are left
+    Halo cells whose source brick does not exist (adjacency -1) come out
     zero; callers must only compute on bricks whose required neighbors
     exist (the interior + surface set always qualifies, since their
     neighbors are at worst ghost bricks).
+
+    The ``3^D`` direction boxes exactly partition the halo block, so a
+    reused *out* buffer is never blanket-cleared: every cell with a
+    source brick is overwritten, and only margin cells whose source is
+    actually absent are zeroed.
     """
     bd = info.brick_dim  # axis order 1..D
     ndim = info.ndim
@@ -64,24 +69,25 @@ def gather_halo_batch(
     )
     shape = (len(slots),) + tuple(b + 2 * radius for b in np_bd)
     if out is None:
-        out = np.zeros(shape, dtype=storage.dtype)
-    else:
-        if out.shape != shape:
-            raise ValueError(f"halo buffer shape {out.shape}, expected {shape}")
-        out[:] = 0
+        out = np.empty(shape, dtype=storage.dtype)
+    elif out.shape != shape:
+        raise ValueError(f"halo buffer shape {out.shape}, expected {shape}")
     for vec in all_direction_vectors(ndim):
         if radius == 0 and any(vec):
             continue
         src = info.adjacency[slots, direction_index(vec)]
         valid = src >= 0
-        if not valid.any():
-            continue
         tgt_slices, src_slices = [], []
         for axis in range(ndim - 1, -1, -1):  # numpy order: axis D first
             t, s = _margin_slices(vec[axis], bd[axis], radius)
             tgt_slices.append(t)
             src_slices.append(s)
-        out[(valid, *tgt_slices)] = bricks[(src[valid], *src_slices)]
+        if valid.all():
+            out[(slice(None), *tgt_slices)] = bricks[(src, *src_slices)]
+        else:
+            out[(~valid, *tgt_slices)] = 0
+            if valid.any():
+                out[(valid, *tgt_slices)] = bricks[(src[valid], *src_slices)]
     return out
 
 
@@ -115,18 +121,26 @@ def apply_brick_stencil(
         (dst.nslots,) + np_bd
     )
     slots = np.asarray(slots)
+    # One halo buffer sized for the first (largest) chunk; the short tail
+    # chunk computes in a leading view of it instead of reallocating.
     halo: Optional[np.ndarray] = None
     for lo in range(0, len(slots), chunk):
         batch_slots = slots[lo : lo + chunk]
-        if halo is None or len(batch_slots) != halo.shape[0]:
-            halo = None  # let gather allocate the right size
-        halo = gather_halo_batch(src, info, batch_slots, r, field_offset, halo)
+        if halo is None:
+            halo_shape = (len(batch_slots),) + tuple(
+                b + 2 * r for b in reversed(bd)
+            )
+            halo = np.empty(halo_shape, dtype=src.dtype)
+        batch_halo = gather_halo_batch(
+            src, info, batch_slots, r, field_offset,
+            halo[: len(batch_slots)],
+        )
         acc: Optional[np.ndarray] = None
         for off, coeff in spec.taps:
             slices = (slice(None),) + tuple(
                 slice(r + o, r + o + b)
                 for o, b in zip(reversed(off), np_bd)
             )
-            term = coeff * halo[slices]
+            term = coeff * batch_halo[slices]
             acc = term if acc is None else acc + term
         dst_bricks[batch_slots] = acc

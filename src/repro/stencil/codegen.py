@@ -26,12 +26,18 @@ from repro.stencil.spec import StencilSpec
 __all__ = [
     "generate_array_kernel",
     "generate_batch_kernel",
+    "generate_array_plan_kernel",
+    "generate_batch_plan_kernel",
     "array_kernel_source",
     "batch_kernel_source",
+    "array_plan_kernel_source",
+    "batch_plan_kernel_source",
 ]
 
 _array_cache: Dict[Tuple, Callable] = {}
 _batch_cache: Dict[Tuple, Callable] = {}
+_array_plan_cache: Dict[Tuple, Callable] = {}
+_batch_plan_cache: Dict[Tuple, Callable] = {}
 
 
 def _slice_expr(lo: int, length: int) -> str:
@@ -145,4 +151,127 @@ def generate_batch_kernel(
         fn = namespace["kernel"]
         fn.__source__ = src
         _batch_cache[key] = fn
+    return fn
+
+
+# ----------------------------------------------------------------------
+# Plan kernels: fully in-place variants used by the execution-plan layer
+# (repro.stencil.plan).  Same tap order and scalar-times-slice operand
+# order as the generic loops, so results stay bit-identical; the only
+# difference is that every intermediate lands in a caller-owned buffer
+# (``np.multiply(..., out=)`` / in-place ``np.add``), so the per-step tap
+# loop allocates nothing.
+# ----------------------------------------------------------------------
+
+def _plan_body(taps, slices_of, acc: str, tmp: str, src: str) -> list:
+    lines = []
+    first = True
+    for off, coeff in taps:
+        term_src = f"{src}[{slices_of(off)}]"
+        if first:
+            lines.append(f"    np.multiply({coeff!r}, {term_src}, out={acc})")
+            first = False
+        else:
+            lines.append(f"    np.multiply({coeff!r}, {term_src}, out={tmp})")
+            lines.append(f"    np.add({acc}, {tmp}, out={acc})")
+    return lines
+
+
+def array_plan_kernel_source(
+    spec: StencilSpec, extent: Sequence[int], ghost: int, margin: int = 0
+) -> str:
+    """Source of the in-place extended-array plan kernel.
+
+    Signature ``kernel(arr, out, tmp)``: accumulates directly into the
+    computed region of *out* (a strided view), using *tmp* (region-shaped
+    scratch) for every tap past the first.  Bit-identical to
+    :func:`array_kernel_source` / the generic
+    :func:`~repro.stencil.kernels.apply_array_stencil`.
+    """
+    extent = tuple(int(e) for e in extent)
+    if spec.ndim != len(extent):
+        raise ValueError("stencil/extent dimensionality mismatch")
+    if margin < 0 or spec.radius + margin > ghost:
+        raise ValueError("margin + radius must fit in the ghost width")
+    lo = ghost - margin
+
+    def slices_of(off):
+        return ", ".join(
+            _slice_expr(lo + o, e + 2 * margin)
+            for o, e in zip(reversed(off), reversed(extent))
+        )
+
+    region = ", ".join(
+        _slice_expr(lo, e + 2 * margin) for e in reversed(extent)
+    )
+    lines = [
+        "def kernel(arr, out, tmp):",
+        f"    # planned: {spec.name} on extent {extent}, ghost {ghost},"
+        f" margin {margin}",
+        f"    acc = out[{region}]",
+    ]
+    lines += _plan_body(spec.taps, slices_of, "acc", "tmp", "arr")
+    return "\n".join(lines) + "\n"
+
+
+def generate_array_plan_kernel(
+    spec: StencilSpec, extent: Sequence[int], ghost: int, margin: int = 0
+) -> Callable[[np.ndarray, np.ndarray, np.ndarray], None]:
+    """Compile (and cache) the in-place array plan kernel."""
+    key = (spec.taps, tuple(extent), ghost, margin)
+    fn = _array_plan_cache.get(key)
+    if fn is None:
+        src = array_plan_kernel_source(spec, extent, ghost, margin)
+        namespace: Dict = {"np": np}
+        exec(compile(src, f"<stencil-plan-{spec.name}>", "exec"), namespace)
+        fn = namespace["kernel"]
+        fn.__source__ = src
+        _array_plan_cache[key] = fn
+    return fn
+
+
+def batch_plan_kernel_source(spec: StencilSpec, brick_dim: Sequence[int]) -> str:
+    """Source of the in-place halo-batch plan kernel.
+
+    Signature ``kernel(halo, acc, tmp)``: *halo* is the gathered batch,
+    *acc* receives the ``(nbricks, bd_D, ..., bd_1)`` result, *tmp* is
+    same-shaped scratch.  Bit-identical to :func:`batch_kernel_source`.
+    """
+    brick_dim = tuple(int(b) for b in brick_dim)
+    if spec.ndim != len(brick_dim):
+        raise ValueError("stencil/brick dimensionality mismatch")
+    r = spec.radius
+    if r > min(brick_dim):
+        raise ValueError("stencil radius exceeds the brick dimension")
+
+    def slices_of(off):
+        return ", ".join(
+            ["slice(None)"]
+            + [
+                _slice_expr(r + o, b)
+                for o, b in zip(reversed(off), reversed(brick_dim))
+            ]
+        )
+
+    lines = [
+        "def kernel(halo, acc, tmp):",
+        f"    # planned: {spec.name} on {brick_dim} bricks, radius {r}",
+    ]
+    lines += _plan_body(spec.taps, slices_of, "acc", "tmp", "halo")
+    return "\n".join(lines) + "\n"
+
+
+def generate_batch_plan_kernel(
+    spec: StencilSpec, brick_dim: Sequence[int]
+) -> Callable[[np.ndarray, np.ndarray, np.ndarray], None]:
+    """Compile (and cache) the in-place halo-batch plan kernel."""
+    key = (spec.taps, tuple(brick_dim))
+    fn = _batch_plan_cache.get(key)
+    if fn is None:
+        src = batch_plan_kernel_source(spec, brick_dim)
+        namespace: Dict = {"np": np}
+        exec(compile(src, f"<brick-stencil-plan-{spec.name}>", "exec"), namespace)
+        fn = namespace["kernel"]
+        fn.__source__ = src
+        _batch_plan_cache[key] = fn
     return fn

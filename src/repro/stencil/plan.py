@@ -1,0 +1,344 @@
+"""Compiled execution plans for the executed timestep loop.
+
+The paper's thesis is that on-node data movement dominates strong-scaled
+stencil communication; this module applies the same discipline to the
+reproduction's own hottest Python path.  The generic kernels re-derive
+slices, allocate halo/accumulator temporaries, and issue ``3^D`` separate
+fancy-index gathers on every chunk of every timestep.  A *plan* hoists all
+of that out of the loop, once per ``(stencil spec, brick geometry, slot
+set, field offset)`` key:
+
+* **Fused gather plan** -- a flat int64 source-index table built once, so
+  the per-step halo gather is a single ``np.take`` into a persistent
+  buffer instead of ``3^D`` direction-wise fancy-index assignments.
+  Halo cells whose source brick is absent (adjacency ``-1``) are located
+  at plan build; per step they are re-zeroed with one small fancy write.
+* **Persistent work buffers** -- halo batch, accumulator and tap scratch
+  are allocated once and reused across timesteps and chunks.
+* **Specialized kernels** -- the tap loop runs as a codegen-compiled,
+  fully-unrolled kernel (:mod:`repro.stencil.codegen`) that accumulates
+  with ``np.multiply(..., out=)`` / in-place ``np.add``, making zero
+  temporaries per step.
+
+The generic kernels in :mod:`repro.stencil.kernels` and
+:mod:`repro.stencil.brick_kernels` remain the bit-identity reference; the
+test suite asserts planned results equal them exactly.
+
+Plans own mutable scratch buffers and therefore must not be shared across
+simulated ranks (threads); the executed driver builds one plan per rank
+per cycle position.  Set ``REPRO_NO_PLAN=1`` (or pass
+``use_plans=False`` to :func:`repro.core.driver.run_executed`) to fall
+back to the generic kernels for debugging.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.brick.info import BrickInfo, all_direction_vectors, direction_index
+from repro.brick.storage import BrickStorage
+from repro.stencil.codegen import (
+    generate_array_plan_kernel,
+    generate_batch_plan_kernel,
+)
+from repro.stencil.spec import StencilSpec
+
+__all__ = [
+    "ArrayStencilPlan",
+    "BrickStencilPlan",
+    "compile_array_plan",
+    "compile_brick_plan",
+    "plans_enabled",
+]
+
+
+def plans_enabled(flag: Optional[bool] = None) -> bool:
+    """Resolve whether compiled plans should be used.
+
+    An explicit *flag* wins; otherwise plans are on unless the
+    ``REPRO_NO_PLAN`` environment variable is set to a non-empty,
+    non-``"0"`` value.
+    """
+    if flag is not None:
+        return bool(flag)
+    return os.environ.get("REPRO_NO_PLAN", "0") in ("", "0")
+
+
+# ----------------------------------------------------------------------
+# Brick-storage plans
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _GatherChunk:
+    """One chunk's precomputed gather/scatter tables."""
+
+    slots: np.ndarray  # the batch of brick slots, in compute order
+    index: np.ndarray  # (n, *halo_np) flat source indices into storage
+    absent: Optional[np.ndarray]  # flat halo positions with no source brick
+    scatter: Union[slice, np.ndarray]  # row selector into the dst brick view
+
+    @property
+    def n(self) -> int:
+        return len(self.slots)
+
+
+def _margin_slices(d: int, bd: int, r: int) -> Tuple[slice, slice]:
+    """(target-in-halo, source-in-neighbor) slices along one axis."""
+    if d == -1:
+        return slice(0, r), slice(bd - r, bd)
+    if d == 0:
+        return slice(r, r + bd), slice(0, bd)
+    return slice(r + bd, bd + 2 * r), slice(0, r)
+
+
+def _build_gather_chunk(
+    info: BrickInfo,
+    slots: np.ndarray,
+    radius: int,
+    field_offset: int,
+    brick_elems: int,
+) -> _GatherChunk:
+    """Index tables for one batch, mirroring ``gather_halo_batch``."""
+    bd = info.brick_dim
+    ndim = info.ndim
+    np_bd = tuple(reversed(bd))
+    halo_np = tuple(b + 2 * radius for b in np_bd)
+    n = len(slots)
+    index = np.zeros((n,) + halo_np, dtype=np.int64)
+    present = np.zeros((n,) + halo_np, dtype=bool)
+    lead = (slice(None),)
+    for vec in all_direction_vectors(ndim):
+        if radius == 0 and any(vec):
+            continue
+        src = info.adjacency[slots, direction_index(vec)]
+        tgt_slices, src_slices = [], []
+        for axis in range(ndim - 1, -1, -1):  # numpy order: axis D first
+            t, s = _margin_slices(vec[axis], bd[axis], radius)
+            tgt_slices.append(t)
+            src_slices.append(s)
+        coords = np.meshgrid(
+            *(np.arange(s.start, s.stop) for s in src_slices), indexing="ij"
+        )
+        within = np.ravel_multi_index(coords, np_bd) + field_offset
+        rows = (-1,) + (1,) * ndim
+        index[lead + tuple(tgt_slices)] = (
+            src.reshape(rows) * brick_elems + within
+        )
+        present[lead + tuple(tgt_slices)] = (src >= 0).reshape(rows)
+    absent_flat: Optional[np.ndarray] = None
+    if not present.all():
+        absent_flat = np.flatnonzero(~present)
+        index.reshape(-1)[absent_flat] = 0  # any valid index; re-zeroed
+    # Contiguous slot batches scatter with one slice assignment.
+    scatter: Union[slice, np.ndarray]
+    if n and slots[-1] - slots[0] + 1 == n and np.all(np.diff(slots) == 1):
+        scatter = slice(int(slots[0]), int(slots[0]) + n)
+    else:
+        scatter = slots
+    return _GatherChunk(slots, index, absent_flat, scatter)
+
+
+class BrickStencilPlan:
+    """Compiled executor of one stencil over a fixed brick slot set.
+
+    Precomputes fused gather tables, owns persistent halo/accumulator/tap
+    buffers, and dispatches the codegen-compiled batch kernel.  The
+    per-step work is: one ``np.take`` gather per chunk, the unrolled
+    in-place tap loop, and one scatter into the destination bricks.
+    """
+
+    def __init__(
+        self,
+        spec: StencilSpec,
+        info: BrickInfo,
+        slots: np.ndarray,
+        field_offset: int = 0,
+        dtype=np.float64,
+        chunk: int = 512,
+    ) -> None:
+        if spec.ndim != info.ndim:
+            raise ValueError(
+                f"stencil is {spec.ndim}-D, bricks are {info.ndim}-D"
+            )
+        r = spec.radius
+        bd = info.brick_dim
+        if r > min(bd):
+            raise ValueError(
+                f"stencil radius {r} exceeds brick dimension {min(bd)};"
+                " enlarge the bricks"
+            )
+        if chunk <= 0:
+            raise ValueError("chunk must be positive")
+        volume = int(math.prod(bd))
+        brick_elems = volume * info.nfields
+        if not 0 <= field_offset <= brick_elems - volume:
+            raise ValueError(
+                f"field offset {field_offset} leaves no room for a"
+                f" {volume}-element field in {brick_elems}-element bricks"
+            )
+        self.spec = spec
+        self.info = info
+        self.field_offset = int(field_offset)
+        self.dtype = np.dtype(dtype)
+        self.brick_elems = brick_elems
+        self.volume = volume
+        self._np_bd = tuple(reversed(bd))
+        slots = np.asarray(slots, dtype=np.int64)
+        self.slots = slots
+        self.chunks: List[_GatherChunk] = [
+            _build_gather_chunk(
+                info, slots[lo : lo + chunk], r, self.field_offset, brick_elems
+            )
+            for lo in range(0, len(slots), chunk)
+        ]
+        nmax = max((c.n for c in self.chunks), default=0)
+        halo_np = tuple(b + 2 * r for b in self._np_bd)
+        self._halo = np.zeros((nmax,) + halo_np, dtype=self.dtype)
+        self._acc = np.empty((nmax,) + self._np_bd, dtype=self.dtype)
+        self._tmp = np.empty_like(self._acc)
+        self._kernel = generate_batch_plan_kernel(spec, bd)
+
+    def _check_storage(self, storage: BrickStorage, role: str) -> None:
+        if storage.brick_elems != self.brick_elems:
+            raise ValueError(
+                f"{role} storage has {storage.brick_elems}-element bricks,"
+                f" plan expects {self.brick_elems}"
+            )
+        if storage.dtype != self.dtype:
+            raise ValueError(
+                f"{role} storage dtype {storage.dtype} != plan {self.dtype}"
+            )
+        if storage.nslots < self.info.nslots:
+            raise ValueError(
+                f"{role} storage has {storage.nslots} slots, adjacency"
+                f" spans {self.info.nslots}"
+            )
+
+    def execute(self, src: BrickStorage, dst: BrickStorage) -> None:
+        """Apply the stencil to every planned slot, reading *src*,
+        writing *dst* (which must be distinct storages)."""
+        if src is dst:
+            raise ValueError("plans require distinct src and dst storages")
+        self._check_storage(src, "src")
+        self._check_storage(dst, "dst")
+        src_flat = src.data.reshape(-1)
+        fo, vol = self.field_offset, self.volume
+        dst_bricks = dst.data[:, fo : fo + vol].reshape(
+            (dst.nslots,) + self._np_bd
+        )
+        for ch in self.chunks:
+            n = ch.n
+            halo = self._halo[:n]
+            np.take(src_flat, ch.index, out=halo)
+            if ch.absent is not None:
+                halo.reshape(-1)[ch.absent] = 0.0
+            acc = self._acc[:n]
+            self._kernel(halo, acc, self._tmp[:n])
+            dst_bricks[ch.scatter] = acc
+
+
+def compile_brick_plan(
+    spec: StencilSpec,
+    info: BrickInfo,
+    slots: np.ndarray,
+    field_offset: int = 0,
+    dtype=np.float64,
+    chunk: int = 512,
+) -> BrickStencilPlan:
+    """Build (or fetch from the per-geometry cache) a brick plan.
+
+    The cache lives on the :class:`BrickInfo` instance itself -- the
+    geometry *is* the cache scope, and an id()-keyed module cache could
+    hand a new geometry a stale plan.  Keys are
+    ``(taps, slot set, field offset, dtype, chunk)``.  Cached plans hold
+    mutable scratch: share them only within one rank/thread.
+    """
+    cache: Dict[Tuple, BrickStencilPlan] = info.__dict__.setdefault(
+        "_stencil_plan_cache", {}
+    )
+    slots = np.asarray(slots, dtype=np.int64)
+    key = (
+        spec.taps,
+        slots.tobytes(),
+        int(field_offset),
+        np.dtype(dtype).str,
+        int(chunk),
+    )
+    plan = cache.get(key)
+    if plan is None:
+        plan = BrickStencilPlan(spec, info, slots, field_offset, dtype, chunk)
+        cache[key] = plan
+    return plan
+
+
+# ----------------------------------------------------------------------
+# Extended-array plans
+# ----------------------------------------------------------------------
+
+class ArrayStencilPlan:
+    """Compiled executor of one stencil over an extended array geometry.
+
+    Wraps the codegen in-place array kernel with a persistent tap scratch
+    buffer; used by the pack/mpi_types/shift executed paths.  One plan per
+    ``(stencil, extent, ghost, margin, dtype)``; results are bit-identical
+    to :func:`repro.stencil.kernels.apply_array_stencil`.
+    """
+
+    def __init__(
+        self,
+        spec: StencilSpec,
+        extent: Sequence[int],
+        ghost: int,
+        margin: int = 0,
+        dtype=np.float64,
+    ) -> None:
+        extent = tuple(int(e) for e in extent)
+        if spec.ndim != len(extent):
+            raise ValueError(
+                f"stencil is {spec.ndim}-D but the domain is {len(extent)}-D"
+            )
+        if margin < 0:
+            raise ValueError("margin cannot be negative")
+        if spec.radius + margin > ghost:
+            raise ValueError(
+                f"stencil radius {spec.radius} plus margin {margin} exceeds"
+                f" ghost width {ghost}"
+            )
+        self.spec = spec
+        self.extent = extent
+        self.ghost = int(ghost)
+        self.margin = int(margin)
+        self.dtype = np.dtype(dtype)
+        self._expected = tuple(e + 2 * ghost for e in reversed(extent))
+        region_shape = tuple(e + 2 * margin for e in reversed(extent))
+        self._tmp = np.empty(region_shape, dtype=self.dtype)
+        self._kernel = generate_array_plan_kernel(spec, extent, ghost, margin)
+
+    def execute(self, arr: np.ndarray, out: np.ndarray) -> None:
+        """``out[region] = stencil(arr)`` over the owned box grown by the
+        planned margin; *arr* and *out* must be distinct extended arrays."""
+        if arr is out:
+            raise ValueError("plans require distinct arr and out arrays")
+        if arr.shape != self._expected or out.shape != self._expected:
+            raise ValueError(
+                f"expected extended shape {self._expected},"
+                f" got {arr.shape} / {out.shape}"
+            )
+        self._kernel(arr, out, self._tmp)
+
+
+def compile_array_plan(
+    spec: StencilSpec,
+    extent: Sequence[int],
+    ghost: int,
+    margin: int = 0,
+    dtype=np.float64,
+) -> ArrayStencilPlan:
+    """Build an array plan (the compiled kernel inside is cached globally;
+    the scratch-owning plan object is per caller)."""
+    return ArrayStencilPlan(spec, extent, ghost, margin, dtype)
