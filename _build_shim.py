@@ -23,6 +23,9 @@ VERSION = "1.0.0"
 TAG = "py3-none-any"
 DIST = f"{NAME}-{VERSION}"
 
+# Extras must stay in sync with [project.optional-dependencies] in
+# pyproject.toml; without the Provides-Extra lines pip would silently
+# resolve `repro[test]` to the bare package.
 _METADATA = f"""\
 Metadata-Version: 2.1
 Name: {NAME}
@@ -30,6 +33,14 @@ Version: {VERSION}
 Summary: Pack-free ghost-zone exchange via data-layout optimization (PPoPP'21 reproduction)
 Requires-Python: >=3.9
 Requires-Dist: numpy>=1.21
+Provides-Extra: test
+Requires-Dist: pytest; extra == "test"
+Requires-Dist: pytest-benchmark; extra == "test"
+Requires-Dist: hypothesis; extra == "test"
+Provides-Extra: cov
+Requires-Dist: pytest-cov; extra == "cov"
+Provides-Extra: lint
+Requires-Dist: ruff; extra == "lint"
 """
 
 _WHEEL = f"""\

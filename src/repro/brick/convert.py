@@ -17,6 +17,9 @@ from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.obs import METRICS as _METRICS
+from repro.obs import TRACER as _TRACER
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.brick.decomp import BrickDecomp, SlotAssignment
     from repro.brick.storage import BrickStorage
@@ -103,8 +106,11 @@ def extended_to_bricks(
     shape = extended_shape(decomp)
     if arr.shape != shape:
         raise ValueError(f"expected extended array of shape {shape}, got {arr.shape}")
-    perm = element_permutation(decomp, assignment, fld)
-    storage.data.reshape(-1)[perm.reshape(-1)] = arr.reshape(-1)
+    with _TRACER.span("convert.extended_to_bricks"):
+        perm = element_permutation(decomp, assignment, fld)
+        storage.data.reshape(-1)[perm.reshape(-1)] = arr.reshape(-1)
+    if _METRICS.enabled:
+        _METRICS.count("convert.elements", int(arr.size))
 
 
 def bricks_to_extended(
@@ -120,19 +126,22 @@ def bricks_to_extended(
     across repeated conversions instead of allocating a fresh array; the
     gather then runs as one ``np.take`` straight into it.
     """
-    perm = element_permutation(decomp, assignment, fld)
-    if out is None:
-        return storage.data.reshape(-1)[perm]
-    if out.shape != perm.shape:
-        raise ValueError(
-            f"expected extended array of shape {perm.shape}, got {out.shape}"
-        )
-    if out.dtype != storage.dtype:
-        raise ValueError(
-            f"scratch dtype {out.dtype} != storage dtype {storage.dtype}"
-        )
-    np.take(storage.data.reshape(-1), perm, out=out)
-    return out
+    with _TRACER.span("convert.bricks_to_extended"):
+        perm = element_permutation(decomp, assignment, fld)
+        if _METRICS.enabled:
+            _METRICS.count("convert.elements", int(perm.size))
+        if out is None:
+            return storage.data.reshape(-1)[perm]
+        if out.shape != perm.shape:
+            raise ValueError(
+                f"expected extended array of shape {perm.shape}, got {out.shape}"
+            )
+        if out.dtype != storage.dtype:
+            raise ValueError(
+                f"scratch dtype {out.dtype} != storage dtype {storage.dtype}"
+            )
+        np.take(storage.data.reshape(-1), perm, out=out)
+        return out
 
 
 def conversion_scratch(decomp: "BrickDecomp", dtype=None) -> np.ndarray:

@@ -7,7 +7,12 @@ Commands
 ``run``
     Execute a distributed stencil run on simulated ranks, validate it
     bit-for-bit against the serial reference, and print the artifact
-    metrics.
+    metrics.  ``--trace`` additionally records an observability trace.
+``trace``
+    Execute a run with the span tracer and metrics registry enabled;
+    write a Chrome trace-event JSON timeline (chrome://tracing), print a
+    flame summary, and optionally write machine-readable stats
+    (``BENCH_trace.json``) for the CI perf-regression gate.
 ``advise``
     Strong-scaling advisor: best exchange scheme per node count.
 ``search-layout``
@@ -48,25 +53,44 @@ def _profile(name: str):
     ]()
 
 
-def _cmd_run(args) -> int:
-    from repro.core.driver import run_executed
+def _build_problem(args):
     from repro.core.problem import StencilProblem
-    from repro.stencil.reference import apply_periodic_reference
     from repro.stencil.spec import CUBE125, SEVEN_POINT
 
     stencil = {"7pt": SEVEN_POINT, "125pt": CUBE125}[args.stencil]
-    problem = StencilProblem(
+    return StencilProblem(
         global_extent=tuple(args.domain),
         rank_dims=tuple(args.ranks),
         stencil=stencil,
         brick_dim=(args.brick,) * 3,
         ghost=args.ghost,
-        periodic=not args.open_boundaries,
+        periodic=not getattr(args, "open_boundaries", False),
     )
-    run = run_executed(
-        problem, args.method, _profile(args.machine), timesteps=args.steps,
-        exchange_period=args.exchange_period,
-    )
+
+
+def _cmd_run(args) -> int:
+    from repro import obs
+    from repro.core.driver import run_executed
+    from repro.stencil.reference import apply_periodic_reference
+
+    problem = _build_problem(args)
+    stencil = problem.stencil
+    tracing = getattr(args, "trace", False)
+    if tracing:
+        obs.enable()
+    try:
+        run = run_executed(
+            problem, args.method, _profile(args.machine),
+            timesteps=args.steps, exchange_period=args.exchange_period,
+        )
+    finally:
+        if tracing:
+            obs.disable()
+    if tracing:
+        out = getattr(args, "trace_out", None) or "trace.json"
+        obs.write_chrome_trace(out, obs.TRACER, obs.METRICS)
+        print(f"wrote {out} (load in chrome://tracing)")
+        print(obs.flame_summary(obs.TRACER))
     print(run.metrics.report())
     print(f"messages/rank/step: {run.messages_per_rank}")
     if run.exchange_period > 1:
@@ -107,6 +131,49 @@ def _cmd_run(args) -> int:
             json.dump(payload, fh, indent=2)
         print(f"wrote {args.json}")
     return 1 if exact is False else 0
+
+
+def _cmd_trace(args) -> int:
+    import json
+
+    from repro import obs
+    from repro.bench.tracebench import traced_run_stats
+
+    stats, run = traced_run_stats(
+        method=args.method,
+        domain=tuple(args.domain),
+        ranks=tuple(args.ranks),
+        steps=args.steps,
+        brick=args.brick,
+        ghost=args.ghost,
+        stencil=args.stencil,
+        machine=args.machine,
+        exchange_period=args.exchange_period,
+        overhead=args.overhead,
+    )
+    obs.write_chrome_trace(args.out, obs.TRACER, obs.METRICS)
+    print(f"wrote {args.out} (load in chrome://tracing or Perfetto)")
+    if args.bench_json:
+        with open(args.bench_json, "w") as fh:
+            json.dump(stats, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.bench_json}")
+    print(obs.flame_summary(obs.TRACER))
+    counts = stats["counts"]
+    print(
+        f"spans: {counts['spans_total']} across"
+        f" {counts['ranks_traced']} ranks;"
+        f" traced wall-clock {stats['wall_s']:.3f}s"
+    )
+    if "overhead" in stats:
+        oh = stats["overhead"]
+        print(
+            f"tracing overhead: {oh['traced_s']:.3f}s traced vs"
+            f" {oh['untraced_s']:.3f}s untraced"
+            f" ({100 * (oh['overhead_ratio'] - 1):+.1f}%)"
+        )
+    print(run.metrics.report())
+    return 0
 
 
 def _cmd_advise(args) -> int:
@@ -180,25 +247,47 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--list", action="store_true")
     p.set_defaults(fn=_cmd_figures)
 
+    def add_run_args(p):
+        p.add_argument("--method", default="memmap")
+        p.add_argument("--domain", type=int, nargs=3, default=[32, 32, 32])
+        p.add_argument("--ranks", type=int, nargs=3, default=[2, 2, 2])
+        p.add_argument("--steps", type=int, default=2)
+        p.add_argument("--brick", type=int, default=8)
+        p.add_argument("--ghost", type=int, default=8)
+        p.add_argument("--stencil", choices=("7pt", "125pt"), default="7pt")
+        p.add_argument("--machine", choices=("theta", "summit", "generic"),
+                       default="theta")
+        p.add_argument(
+            "--exchange-period", default=None,
+            help="exchange every N steps ('auto' for the maximum the ghost"
+                 " width supports); redundant computation fills the gaps",
+        )
+
     p = sub.add_parser("run", help="executed distributed run + validation")
-    p.add_argument("--method", default="memmap")
-    p.add_argument("--domain", type=int, nargs=3, default=[32, 32, 32])
-    p.add_argument("--ranks", type=int, nargs=3, default=[2, 2, 2])
-    p.add_argument("--steps", type=int, default=2)
-    p.add_argument("--brick", type=int, default=8)
-    p.add_argument("--ghost", type=int, default=8)
-    p.add_argument("--stencil", choices=("7pt", "125pt"), default="7pt")
-    p.add_argument("--machine", choices=("theta", "summit", "generic"),
-                   default="theta")
+    add_run_args(p)
     p.add_argument("--open-boundaries", action="store_true")
-    p.add_argument(
-        "--exchange-period", default=None,
-        help="exchange every N steps ('auto' for the maximum the ghost"
-             " width supports); redundant computation fills the gaps",
-    )
     p.add_argument("--json", metavar="PATH",
                    help="also write the run summary as JSON")
+    p.add_argument("--trace", action="store_true",
+                   help="record an observability trace of the run")
+    p.add_argument("--trace-out", metavar="PATH", default="trace.json",
+                   help="Chrome trace-event output path for --trace")
     p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser(
+        "trace",
+        help="traced executed run: Chrome timeline + flame summary",
+    )
+    add_run_args(p)
+    p.set_defaults(method="layout", steps=4)
+    p.add_argument("--out", metavar="PATH", default="trace.json",
+                   help="Chrome trace-event JSON output path")
+    p.add_argument("--bench-json", metavar="PATH", default=None,
+                   help="also write machine-readable trace stats"
+                        " (BENCH_trace.json schema)")
+    p.add_argument("--overhead", action="store_true",
+                   help="also run untraced and report tracing overhead")
+    p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser("advise", help="strong-scaling advisor")
     p.add_argument("--domain", type=int, default=1024)

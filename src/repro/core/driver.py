@@ -40,6 +40,8 @@ from repro.core.model import (
     _schedules,
 )
 from repro.core.problem import StencilProblem
+from repro.obs import METRICS as _METRICS
+from repro.obs import TRACER as _TRACER
 from repro.exchange.layout_ex import LayoutExchanger
 from repro.exchange.memmap_ex import MemMapExchanger
 from repro.exchange.mpitypes import MPITypesExchanger
@@ -210,21 +212,35 @@ def _rank_fn(
         )
         src, dst = 0, 1
         arrays = [a, b]
+        rank = comm.rank
         for t in range(timesteps):
             pos = t % period
-            if pos == 0:
-                res = exchangers[src].exchange()
-                counters["msgs"] += res.messages_sent
-                counters["wire"] += res.wire_bytes_sent
-                counters["payload"] += res.payload_bytes_sent
-            with timer.phase("calc"):
-                if plans is not None:
-                    plans[pos].execute(arrays[src], arrays[dst])
-                else:
-                    apply_array_stencil(
-                        arrays[src], arrays[dst], spec, ext, g,
-                        margin=margins[pos],
-                    )
+            with _TRACER.span("driver.step", rank=rank, step=t):
+                if pos == 0:
+                    with _TRACER.span("driver.exchange", rank=rank, step=t,
+                                      method=info.name):
+                        res = exchangers[src].exchange()
+                    counters["msgs"] += res.messages_sent
+                    counters["wire"] += res.wire_bytes_sent
+                    counters["payload"] += res.payload_bytes_sent
+                    if _METRICS.enabled:
+                        _METRICS.count("driver.exchanges", 1, rank=rank)
+                        _METRICS.count(
+                            "driver.messages", res.messages_sent, rank=rank
+                        )
+                        _METRICS.count(
+                            "driver.wire_bytes", res.wire_bytes_sent,
+                            rank=rank,
+                        )
+                with _TRACER.span("driver.calc", rank=rank, step=t):
+                    with timer.phase("calc"):
+                        if plans is not None:
+                            plans[pos].execute(arrays[src], arrays[dst])
+                        else:
+                            apply_array_stencil(
+                                arrays[src], arrays[dst], spec, ext, g,
+                                margin=margins[pos],
+                            )
             src, dst = dst, src
         result = arrays[src][own_slc].copy()
     else:
@@ -273,24 +289,42 @@ def _rank_fn(
             else None
         )
         src, dst = 0, 1
+        rank = comm.rank
         for t in range(timesteps):
             pos = t % period
-            if pos == 0:
-                res = exchangers[src].exchange()
-                counters["msgs"] += res.messages_sent
-                counters["wire"] += res.wire_bytes_sent
-                counters["payload"] += res.payload_bytes_sent
-            with timer.phase("calc"):
-                if plans is not None:
-                    plans[pos].execute(storages[src], storages[dst])
-                else:
-                    apply_brick_stencil(
-                        spec, storages[src], storages[dst], binfo,
-                        cycle_slots[pos],
-                    )
+            with _TRACER.span("driver.step", rank=rank, step=t):
+                if pos == 0:
+                    with _TRACER.span("driver.exchange", rank=rank, step=t,
+                                      method=info.name):
+                        res = exchangers[src].exchange()
+                    counters["msgs"] += res.messages_sent
+                    counters["wire"] += res.wire_bytes_sent
+                    counters["payload"] += res.payload_bytes_sent
+                    if _METRICS.enabled:
+                        _METRICS.count("driver.exchanges", 1, rank=rank)
+                        _METRICS.count(
+                            "driver.messages", res.messages_sent, rank=rank
+                        )
+                        _METRICS.count(
+                            "driver.wire_bytes", res.wire_bytes_sent,
+                            rank=rank,
+                        )
+                with _TRACER.span("driver.calc", rank=rank, step=t):
+                    with timer.phase("calc"):
+                        if plans is not None:
+                            plans[pos].execute(storages[src], storages[dst])
+                        else:
+                            apply_brick_stencil(
+                                spec, storages[src], storages[dst], binfo,
+                                cycle_slots[pos],
+                            )
             src, dst = dst, src
         if info.base == "memmap":
             counters["maps"] = exchangers[0].mapping_count
+            if _METRICS.enabled:
+                _METRICS.gauge(
+                    "memmap.regions", exchangers[0].mapping_count, rank=rank
+                )
         result = bricks_to_extended(
             decomp, storages[src], asn, out=conversion_scratch(decomp)
         )[own_slc].copy()

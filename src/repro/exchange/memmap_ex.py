@@ -31,6 +31,8 @@ from repro.exchange.base import ExchangeResult, Exchanger, exchange_tag
 from repro.exchange.schedule import MessageSpec
 from repro.hardware.profiles import MachineProfile
 from repro.layout.messages import message_runs
+from repro.obs import METRICS as _METRICS
+from repro.obs import TRACER as _TRACER
 from repro.simmpi.comm import CartComm
 from repro.util.bitset import BitSet
 from repro.util.timing import TimeBreakdown
@@ -182,19 +184,29 @@ class MemMapExchanger(Exchanger):
         ]
 
     def exchange(self) -> ExchangeResult:
+        rank = self.comm.rank
         reqs = []
-        for v in self.views:
-            reqs.append(
-                self.comm.Irecv(v.recv_view.array(), v.rank, v.recv_tag)
-            )
-        for v in self.views:
-            v.send_view.refresh()  # no-op on real mappings
-            reqs.append(
-                self.comm.Isend(v.send_view.array(), v.rank, v.send_tag)
-            )
-        self.comm.Waitall(reqs)
-        for v in self.views:
-            v.recv_view.flush()  # no-op on real mappings
+        with _TRACER.span("exchange.post", rank=rank, method=self.method):
+            for v in self.views:
+                reqs.append(
+                    self.comm.Irecv(v.recv_view.array(), v.rank, v.recv_tag)
+                )
+            for v in self.views:
+                v.send_view.refresh()  # no-op on real mappings
+                reqs.append(
+                    self.comm.Isend(v.send_view.array(), v.rank, v.send_tag)
+                )
+        with _TRACER.span("exchange.wait", rank=rank, method=self.method):
+            self.comm.Waitall(reqs)
+        with _TRACER.span("exchange.sync", rank=rank, method=self.method):
+            for v in self.views:
+                v.recv_view.flush()  # no-op on real mappings
+        if _METRICS.enabled:
+            # Pack-free through the MMU: no staged bytes, but each view
+            # burns kernel mappings (the vm.max_map_count budget).
+            _METRICS.count("exchange.bytes_packed", 0, rank=rank)
+            _METRICS.count("exchange.messages", len(self.views), rank=rank)
+            _METRICS.gauge("memmap.regions", self.mapping_count, rank=rank)
 
         send_specs = self.send_specs()
         recv_specs = self.recv_specs()

@@ -21,6 +21,8 @@ from repro.exchange.boxes import neighbor_recv_box, neighbor_send_box
 from repro.exchange.schedule import MessageSpec, array_schedule
 from repro.hardware.profiles import MachineProfile
 from repro.layout.regions import all_regions
+from repro.obs import METRICS as _METRICS
+from repro.obs import TRACER as _TRACER
 from repro.simmpi.comm import CartComm
 from repro.simmpi.datatypes import SubarrayType
 from repro.util.timing import TimeBreakdown
@@ -92,16 +94,28 @@ class MPITypesExchanger(Exchanger):
 
     def exchange(self) -> ExchangeResult:
         arr = self.array
+        rank = self.comm.rank
         reqs = []
-        for p in self._plan:
-            reqs.append(self.comm.Irecv(p["recv_buf"], p["rank"], p["recv_tag"]))
-        for p in self._plan:
-            # "Inside MPI": the datatype engine extracts the selection.
-            wire = p["send_type"].extract(arr)
-            reqs.append(self.comm.Isend(wire, p["rank"], p["send_tag"]))
-        self.comm.Waitall(reqs)
-        for p in self._plan:
-            p["recv_type"].insert(arr, p["recv_buf"])
+        with _TRACER.span("exchange.post", rank=rank, method=self.method):
+            for p in self._plan:
+                reqs.append(
+                    self.comm.Irecv(p["recv_buf"], p["rank"], p["recv_tag"])
+                )
+            for p in self._plan:
+                # "Inside MPI": the datatype engine extracts the selection.
+                wire = p["send_type"].extract(arr)
+                reqs.append(self.comm.Isend(wire, p["rank"], p["send_tag"]))
+        with _TRACER.span("exchange.wait", rank=rank, method=self.method):
+            self.comm.Waitall(reqs)
+        with _TRACER.span("exchange.unpack", rank=rank, method=self.method):
+            for p in self._plan:
+                p["recv_type"].insert(arr, p["recv_buf"])
+        if _METRICS.enabled:
+            # The datatype engine's gathers/scatters are on-node movement
+            # too, just hidden inside the library.
+            moved = sum(p["recv_buf"].nbytes for p in self._plan) * 2
+            _METRICS.count("exchange.bytes_packed", moved, rank=rank)
+            _METRICS.count("exchange.messages", len(self._plan), rank=rank)
 
         breakdown = TimeBreakdown()
         call, wait = self._network_times(self._specs, self._specs)

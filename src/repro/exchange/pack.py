@@ -24,6 +24,8 @@ from repro.exchange.boxes import box_slices, neighbor_recv_box, neighbor_send_bo
 from repro.exchange.schedule import MessageSpec, array_schedule
 from repro.hardware.profiles import MachineProfile
 from repro.layout.regions import all_regions
+from repro.obs import METRICS as _METRICS
+from repro.obs import TRACER as _TRACER
 from repro.simmpi.comm import CartComm
 from repro.util.bitset import BitSet
 from repro.util.timing import TimeBreakdown
@@ -100,18 +102,33 @@ class PackExchanger(Exchanger):
 
     def exchange(self) -> ExchangeResult:
         arr = self.array
+        rank = self.comm.rank
         # Phase 1: post every receive before any send (deadlock-free).
         reqs = []
-        for p in self._plan:
-            reqs.append(self.comm.Irecv(p["recv_buf"], p["rank"], p["recv_tag"]))
+        with _TRACER.span("exchange.post", rank=rank, method=self.method):
+            for p in self._plan:
+                reqs.append(
+                    self.comm.Irecv(p["recv_buf"], p["rank"], p["recv_tag"])
+                )
         # Phase 2: pack and send.
-        for p in self._plan:
-            np.copyto(p["send_view"], arr[p["send_slices"]])  # the pack
-            reqs.append(self.comm.Isend(p["send_buf"], p["rank"], p["send_tag"]))
-        self.comm.Waitall(reqs)
+        with _TRACER.span("exchange.pack", rank=rank, method=self.method):
+            for p in self._plan:
+                np.copyto(p["send_view"], arr[p["send_slices"]])  # the pack
+                reqs.append(
+                    self.comm.Isend(p["send_buf"], p["rank"], p["send_tag"])
+                )
+        with _TRACER.span("exchange.wait", rank=rank, method=self.method):
+            self.comm.Waitall(reqs)
         # Phase 3: unpack.
-        for p in self._plan:
-            arr[p["recv_slices"]] = p["recv_view"]
+        with _TRACER.span("exchange.unpack", rank=rank, method=self.method):
+            for p in self._plan:
+                arr[p["recv_slices"]] = p["recv_view"]
+        if _METRICS.enabled:
+            packed = sum(p["send_buf"].nbytes for p in self._plan)
+            unpacked = sum(p["recv_buf"].nbytes for p in self._plan)
+            _METRICS.count("exchange.bytes_packed", packed + unpacked,
+                           rank=rank)
+            _METRICS.count("exchange.messages", len(self._plan), rank=rank)
 
         breakdown = TimeBreakdown()
         breakdown.charge("pack", self._pack_cost(self._specs) * 2)  # pack+unpack

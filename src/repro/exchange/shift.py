@@ -22,6 +22,8 @@ import numpy as np
 from repro.exchange.base import ExchangeResult, Exchanger
 from repro.exchange.schedule import MessageSpec
 from repro.hardware.profiles import MachineProfile
+from repro.obs import METRICS as _METRICS
+from repro.obs import TRACER as _TRACER
 from repro.simmpi.comm import CartComm
 from repro.util.bitset import BitSet
 from repro.util.timing import TimeBreakdown
@@ -121,26 +123,43 @@ class ShiftExchanger(Exchanger):
 
     def exchange(self) -> ExchangeResult:
         arr = self.array
+        rank = self.comm.rank
         breakdown = TimeBreakdown()
-        for phase in self._phases:
-            reqs = []
-            for p in phase:
-                reqs.append(self.comm.Irecv(p["recv_buf"], p["rank"], p["rtag"]))
-            for p in phase:
-                p["send_buf"][:] = arr[p["send_slices"]].reshape(-1)
-                reqs.append(self.comm.Isend(p["send_buf"], p["rank"], p["tag"]))
-            self.comm.Waitall(reqs)
-            for p in phase:
-                arr[p["recv_slices"]] = p["recv_buf"].reshape(
-                    arr[p["recv_slices"]].shape
-                )
-            # Phases serialize: each pays its own pack + network round.
-            specs = [p["spec"] for p in phase]
-            breakdown.charge("pack", self._pack_cost(specs) * 2)
-            call, wait = self._network_times(specs, specs)
-            breakdown.charge("call", call)
-            breakdown.charge("wait", wait)
-            self.comm.Barrier()
+        for axis, phase in enumerate(self._phases):
+            with _TRACER.span("exchange.shift_axis", rank=rank,
+                              method=self.method, axis=axis):
+                reqs = []
+                with _TRACER.span("exchange.pack", rank=rank):
+                    for p in phase:
+                        reqs.append(
+                            self.comm.Irecv(p["recv_buf"], p["rank"], p["rtag"])
+                        )
+                    for p in phase:
+                        p["send_buf"][:] = arr[p["send_slices"]].reshape(-1)
+                        reqs.append(
+                            self.comm.Isend(p["send_buf"], p["rank"], p["tag"])
+                        )
+                with _TRACER.span("exchange.wait", rank=rank):
+                    self.comm.Waitall(reqs)
+                with _TRACER.span("exchange.unpack", rank=rank):
+                    for p in phase:
+                        arr[p["recv_slices"]] = p["recv_buf"].reshape(
+                            arr[p["recv_slices"]].shape
+                        )
+                if _METRICS.enabled:
+                    moved = sum(
+                        p["send_buf"].nbytes + p["recv_buf"].nbytes
+                        for p in phase
+                    )
+                    _METRICS.count("exchange.bytes_packed", moved, rank=rank)
+                    _METRICS.count("exchange.messages", len(phase), rank=rank)
+                # Phases serialize: each pays its own pack + network round.
+                specs = [p["spec"] for p in phase]
+                breakdown.charge("pack", self._pack_cost(specs) * 2)
+                call, wait = self._network_times(specs, specs)
+                breakdown.charge("call", call)
+                breakdown.charge("wait", wait)
+                self.comm.Barrier()
 
         all_specs = self.send_specs()
         return ExchangeResult(

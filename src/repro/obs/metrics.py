@@ -1,0 +1,130 @@
+"""Counter/gauge registry for the executed data-movement path.
+
+Counters accumulate (bytes packed, messages sent, halo cells gathered,
+plan cache hits); gauges record a last-written value (mmap regions held
+by an exchanger).  Both are tracked per rank where the caller knows its
+rank, with ``rank=None`` sums kept separately under the ``"-"`` key.
+
+Hot-path discipline: recording writes to a *per-thread shard* (a plain
+dict, no lock -- simulated ranks are threads, so shards double as
+per-rank buckets); the registry lock is taken only when a thread first
+registers its shard and when a reader merges them.  Disabled cost is one
+attribute test, and every instrumented call site additionally guards on
+:attr:`MetricsRegistry.enabled` where building the arguments has a cost.
+
+Like the tracer, the registry is an observer: it never feeds the modelled
+:class:`~repro.util.timing.TimeBreakdown` clocks.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple, Union
+
+__all__ = ["MetricsRegistry"]
+
+Number = Union[int, float]
+
+#: per-rank key used when the caller did not identify its rank
+_NO_RANK = "-"
+
+
+class MetricsRegistry:
+    """Named counters and gauges, bucketed per rank, thread-sharded."""
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._lock = threading.Lock()
+        # (counter shard, gauge shard) per thread; keys are (name, rank).
+        self._shards: List[Tuple[dict, dict]] = []
+        self._tls = threading.local()
+
+    # -- lifecycle -------------------------------------------------------
+    def enable(self) -> None:
+        self.clear()
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        with self._lock:
+            self._shards = []
+        self._tls = threading.local()
+
+    def _shard(self) -> Tuple[dict, dict]:
+        shard = getattr(self._tls, "shard", None)
+        if shard is None:
+            shard = ({}, {})
+            self._tls.shard = shard
+            with self._lock:
+                self._shards.append(shard)
+        return shard
+
+    # -- recording -------------------------------------------------------
+    def count(self, name: str, value: Number = 1,
+              rank: Optional[int] = None) -> None:
+        """Add *value* to counter *name* (no-op while disabled)."""
+        if not self.enabled:
+            return
+        counters = self._shard()[0]
+        key = (name, _NO_RANK if rank is None else rank)
+        counters[key] = counters.get(key, 0) + value
+
+    def gauge(self, name: str, value: Number,
+              rank: Optional[int] = None) -> None:
+        """Set gauge *name* to *value*.
+
+        Last write wins per (name, rank) within a thread; across threads
+        writing the *same* (name, rank) -- which the per-rank-thread
+        layout avoids -- the merge order is unspecified.
+        """
+        if not self.enabled:
+            return
+        gauges = self._shard()[1]
+        gauges[(name, _NO_RANK if rank is None else rank)] = value
+
+    # -- reading ---------------------------------------------------------
+    def _merged(self) -> Tuple[Dict[str, dict], Dict[str, dict]]:
+        with self._lock:
+            shards = list(self._shards)
+        counters: Dict[str, dict] = {}
+        gauges: Dict[str, dict] = {}
+        for counter_shard, gauge_shard in shards:
+            for (name, rank), value in counter_shard.items():
+                per = counters.setdefault(name, {})
+                per[rank] = per.get(rank, 0) + value
+            for (name, rank), value in gauge_shard.items():
+                gauges.setdefault(name, {})[rank] = value
+        return counters, gauges
+
+    def counter_total(self, name: str) -> Number:
+        return sum(self._merged()[0].get(name, {}).values())
+
+    def counter_by_rank(self, name: str) -> Dict[str, Number]:
+        return dict(self._merged()[0].get(name, {}))
+
+    def snapshot(self) -> Dict[str, Dict[str, Dict[str, Number]]]:
+        """Everything recorded, as plain JSON-ready dicts.
+
+        Shape: ``{"counters": {name: {"total": x, "per_rank": {...}}},
+        "gauges": {name: {"total": x, "per_rank": {...}}}}`` with
+        per-rank keys stringified for JSON friendliness.
+        """
+        counters, gauges = self._merged()
+
+        def render(table: Dict[str, dict]) -> dict:
+            return {
+                name: {
+                    "total": sum(per.values()),
+                    "per_rank": {
+                        str(k): v
+                        for k, v in sorted(
+                            per.items(), key=lambda kv: str(kv[0])
+                        )
+                    },
+                }
+                for name, per in sorted(table.items())
+            }
+
+        return {"counters": render(counters), "gauges": render(gauges)}

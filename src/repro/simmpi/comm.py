@@ -13,6 +13,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs import TRACER as _TRACER
 from repro.simmpi.fabric import SimFabric
 from repro.simmpi.request import SimRequest
 
@@ -57,7 +58,9 @@ class SimComm:
         self.Irecv(buf, source, tag).wait()
 
     def Waitall(self, requests: Sequence[SimRequest]) -> None:
-        SimRequest.waitall(requests)
+        with _TRACER.span("comm.waitall", rank=self.rank,
+                          n=len(requests)):
+            SimRequest.waitall(requests)
 
     def Barrier(self) -> None:
         self.fabric.barrier.wait()

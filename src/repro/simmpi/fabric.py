@@ -19,6 +19,9 @@ from typing import Deque, Dict, List, Tuple
 
 import numpy as np
 
+from repro.obs import METRICS as _METRICS
+from repro.obs import TRACER as _TRACER
+
 __all__ = ["SimFabric", "FabricStats", "DeadlockError", "AbortedError"]
 
 #: Seconds an unmatched operation waits before declaring a deadlock.
@@ -40,11 +43,12 @@ class FabricStats:
 
 
 class _SendEntry:
-    __slots__ = ("buf", "done")
+    __slots__ = ("buf", "done", "src")
 
-    def __init__(self, buf: np.ndarray) -> None:
+    def __init__(self, buf: np.ndarray, src: int = -1) -> None:
         self.buf = buf
         self.done = threading.Event()
+        self.src = src
 
 
 class AbortedError(RuntimeError):
@@ -76,12 +80,15 @@ class SimFabric:
         self._check_rank(src)
         self._check_rank(dst)
         buf = np.ascontiguousarray(buf)
-        entry = _SendEntry(buf)
+        entry = _SendEntry(buf, src)
         with self._lock:
             self._mailboxes[(src, dst, tag)].append(entry)
             self.stats[src].sends += 1
             self.stats[src].bytes_sent += buf.nbytes
             self._lock.notify_all()
+        if _METRICS.enabled:
+            _METRICS.count("fabric.messages", 1, rank=src)
+            _METRICS.count("fabric.wire_bytes", buf.nbytes, rank=src)
         return entry
 
     def wait_send(self, entry: _SendEntry) -> None:
@@ -91,48 +98,58 @@ class SimFabric:
         raised) fails fast instead of hanging forever, and declares a
         deadlock after the same timeout as receives.
         """
-        waited = 0.0
-        while not entry.done.wait(timeout=0.1):
-            waited += 0.1
-            with self._lock:
-                if self._failed:
-                    raise AbortedError("another rank failed; abandoning send")
-            if waited >= _DEADLOCK_TIMEOUT:
-                self.abort()
-                raise DeadlockError(
-                    f"send unmatched after {_DEADLOCK_TIMEOUT}s"
-                )
+        rank = entry.src if entry.src >= 0 else None
+        with _TRACER.span("fabric.send_wait", rank=rank):
+            waited = 0.0
+            while not entry.done.wait(timeout=0.1):
+                waited += 0.1
+                with self._lock:
+                    if self._failed:
+                        raise AbortedError(
+                            "another rank failed; abandoning send"
+                        )
+                if waited >= _DEADLOCK_TIMEOUT:
+                    self.abort()
+                    raise DeadlockError(
+                        f"send unmatched after {_DEADLOCK_TIMEOUT}s"
+                    )
 
     def complete_recv(self, src: int, dst: int, tag: int, buf: np.ndarray) -> None:
         """Block until a matching send exists, then copy it into *buf*."""
         self._check_rank(src)
         self._check_rank(dst)
         key = (src, dst, tag)
-        with self._lock:
-            deadline = _DEADLOCK_TIMEOUT
-            while not self._mailboxes.get(key):
-                if self._failed:
-                    raise AbortedError("another rank failed; aborting receive")
-                if not self._lock.wait(timeout=deadline):
-                    self._failed = True
-                    self._lock.notify_all()
-                    raise DeadlockError(
-                        f"rank {dst} waited {_DEADLOCK_TIMEOUT}s for message"
-                        f" (src={src}, tag={tag})"
-                    )
-            entry = self._mailboxes[key].popleft()
-        flat = buf.reshape(-1)
-        src_flat = entry.buf.reshape(-1).view(flat.dtype)
-        if src_flat.size != flat.size:
-            self.abort()
-            raise ValueError(
-                f"message size mismatch on (src={src}, dst={dst}, tag={tag}):"
-                f" sent {src_flat.size} elements, receiving {flat.size}"
-            )
-        flat[:] = src_flat  # the single wire copy
-        self.stats[dst].recvs += 1
-        self.stats[dst].bytes_received += buf.nbytes
-        entry.done.set()
+        with _TRACER.span("fabric.recv", rank=dst, src=src):
+            with self._lock:
+                deadline = _DEADLOCK_TIMEOUT
+                while not self._mailboxes.get(key):
+                    if self._failed:
+                        raise AbortedError(
+                            "another rank failed; aborting receive"
+                        )
+                    if not self._lock.wait(timeout=deadline):
+                        self._failed = True
+                        self._lock.notify_all()
+                        raise DeadlockError(
+                            f"rank {dst} waited {_DEADLOCK_TIMEOUT}s for"
+                            f" message (src={src}, tag={tag})"
+                        )
+                entry = self._mailboxes[key].popleft()
+            flat = buf.reshape(-1)
+            src_flat = entry.buf.reshape(-1).view(flat.dtype)
+            if src_flat.size != flat.size:
+                self.abort()
+                raise ValueError(
+                    f"message size mismatch on (src={src}, dst={dst},"
+                    f" tag={tag}): sent {src_flat.size} elements, receiving"
+                    f" {flat.size}"
+                )
+            flat[:] = src_flat  # the single wire copy
+            self.stats[dst].recvs += 1
+            self.stats[dst].bytes_received += buf.nbytes
+            entry.done.set()
+        if _METRICS.enabled:
+            _METRICS.count("fabric.bytes_received", buf.nbytes, rank=dst)
 
     def abort(self) -> None:
         """Wake every waiter with a failure (used when one rank raises)."""

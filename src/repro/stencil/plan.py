@@ -42,6 +42,8 @@ import numpy as np
 
 from repro.brick.info import BrickInfo, all_direction_vectors, direction_index
 from repro.brick.storage import BrickStorage
+from repro.obs import METRICS as _METRICS
+from repro.obs import TRACER as _TRACER
 from repro.stencil.codegen import (
     generate_array_plan_kernel,
     generate_batch_plan_kernel,
@@ -231,10 +233,13 @@ class BrickStencilPlan:
         dst_bricks = dst.data[:, fo : fo + vol].reshape(
             (dst.nslots,) + self._np_bd
         )
+        track = _METRICS.enabled
         for ch in self.chunks:
             n = ch.n
             halo = self._halo[:n]
             np.take(src_flat, ch.index, out=halo)
+            if track:
+                _METRICS.count("plan.halo_cells_gathered", int(ch.index.size))
             if ch.absent is not None:
                 halo.reshape(-1)[ch.absent] = 0.0
             acc = self._acc[:n]
@@ -271,8 +276,15 @@ def compile_brick_plan(
     )
     plan = cache.get(key)
     if plan is None:
-        plan = BrickStencilPlan(spec, info, slots, field_offset, dtype, chunk)
+        if _METRICS.enabled:
+            _METRICS.count("plan.cache_misses")
+        with _TRACER.span("plan.compile", nslots=len(slots)):
+            plan = BrickStencilPlan(
+                spec, info, slots, field_offset, dtype, chunk
+            )
         cache[key] = plan
+    elif _METRICS.enabled:
+        _METRICS.count("plan.cache_hits")
     return plan
 
 

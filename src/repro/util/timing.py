@@ -116,6 +116,10 @@ class _PhaseContext:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        # Record-and-reraise: a phase whose body raised still spent real
+        # wall-clock, so charge it before the exception propagates (the
+        # same contract as repro.obs spans).
         elapsed = time.perf_counter() - self._start
         self._timer.breakdown.charge(self._name, elapsed)
+        return False

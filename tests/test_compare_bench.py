@@ -1,0 +1,143 @@
+"""compare_bench.py: the CI perf-regression gate's comparison rules."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).parents[1] / "benchmarks" / "compare_bench.py"
+
+spec = importlib.util.spec_from_file_location("compare_bench", SCRIPT)
+compare_bench = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(compare_bench)
+
+compare_docs = compare_bench.compare_docs
+
+
+BASELINE = {
+    "brick_step": {
+        "extent": [16, 16, 16],
+        "slots": 8,
+        "stencil": "7pt",
+        "generic_s": 4e-4,
+        "planned_s": 1e-4,
+        "speedup": 4.0,
+    },
+    "overhead": {"traced_s": 0.10, "untraced_s": 0.10, "overhead_ratio": 1.05},
+    "span_s": {"driver.calc": 0.08},
+    "counts": {"spans_total": 2712},
+}
+
+
+def fresh_like(**overrides):
+    doc = json.loads(json.dumps(BASELINE))
+    for dotted, value in overrides.items():
+        node = doc
+        *parents, leaf = dotted.split("/")
+        for key in parents:
+            node = node[key]
+        node[leaf] = value
+    return doc
+
+
+def paths(violations):
+    return {v.path for v in violations}
+
+
+class TestRules:
+    def test_identical_passes(self):
+        assert compare_docs(BASELINE, fresh_like()) == []
+
+    def test_timing_within_tolerance_passes(self):
+        fresh = fresh_like(**{"brick_step/generic_s": 5.5e-4})
+        assert compare_docs(BASELINE, fresh, tolerance=0.5) == []
+
+    def test_timing_regression_fails(self):
+        # Baseline twice as fast as measured -> must be flagged.
+        fresh = fresh_like(**{"brick_step/generic_s": 8e-4})
+        v = compare_docs(BASELINE, fresh, tolerance=0.5)
+        assert paths(v) == {"brick_step.generic_s"}
+
+    def test_skip_absolute_ignores_timings_only(self):
+        fresh = fresh_like(
+            **{"brick_step/generic_s": 8e-4, "span_s/driver.calc": 0.9}
+        )
+        assert compare_docs(BASELINE, fresh, skip_absolute=True) == []
+        # ...but exact keys and ratios still gate
+        fresh = fresh_like(**{"counts/spans_total": 2000})
+        v = compare_docs(BASELINE, fresh, skip_absolute=True)
+        assert paths(v) == {"counts.spans_total"}
+
+    def test_nested_span_timings_treated_as_absolute(self):
+        # leaf "driver.calc" has no _s suffix; the span_s parent does
+        fresh = fresh_like(**{"span_s/driver.calc": 0.5})
+        v = compare_docs(BASELINE, fresh, tolerance=0.5)
+        assert paths(v) == {"span_s.driver.calc"}
+
+    def test_speedup_drop_fails_and_gain_passes(self):
+        v = compare_docs(BASELINE, fresh_like(**{"brick_step/speedup": 1.5}))
+        assert paths(v) == {"brick_step.speedup"}
+        assert compare_docs(BASELINE, fresh_like(**{"brick_step/speedup": 9.0})) == []
+
+    def test_ratio_growth_fails_even_with_skip_absolute(self):
+        fresh = fresh_like(**{"overhead/overhead_ratio": 1.9})
+        v = compare_docs(BASELINE, fresh, tolerance=0.5, skip_absolute=True)
+        assert paths(v) == {"overhead.overhead_ratio"}
+
+    def test_exact_keys_gate(self):
+        v = compare_docs(BASELINE, fresh_like(**{"brick_step/slots": 9}))
+        assert paths(v) == {"brick_step.slots"}
+        v = compare_docs(BASELINE, fresh_like(**{"brick_step/stencil": "27pt"}))
+        assert paths(v) == {"brick_step.stencil"}
+        v = compare_docs(BASELINE, fresh_like(**{"brick_step/extent": [16, 16, 8]}))
+        assert v
+
+    def test_missing_key_is_violation(self):
+        fresh = fresh_like()
+        del fresh["overhead"]["overhead_ratio"]
+        v = compare_docs(BASELINE, fresh)
+        assert paths(v) == {"overhead.overhead_ratio"}
+
+    def test_extra_fresh_keys_ignored(self):
+        fresh = fresh_like()
+        fresh["new_suite"] = {"anything": 1}
+        assert compare_docs(BASELINE, fresh) == []
+
+
+class TestMain:
+    def run_main(self, tmp_path, baseline, fresh, *extra):
+        (tmp_path / "BENCH_plan.json").write_text(json.dumps(baseline))
+        fresh_file = tmp_path / "fresh.json"
+        fresh_file.write_text(json.dumps({"BENCH_plan": fresh}))
+        return compare_bench.main(
+            ["--only", "BENCH_plan", "--baselines", str(tmp_path),
+             "--fresh", str(fresh_file), *extra]
+        )
+
+    def test_exit_zero_on_match(self, tmp_path, capsys):
+        assert self.run_main(tmp_path, BASELINE, fresh_like()) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_exit_nonzero_on_regression(self, tmp_path, capsys):
+        # The acceptance scenario: baseline 2x faster than measured.
+        fresh = fresh_like(
+            **{"brick_step/generic_s": 8e-4, "brick_step/planned_s": 2e-4}
+        )
+        assert self.run_main(tmp_path, BASELINE, fresh) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_missing_baseline_fails(self, tmp_path):
+        fresh_file = tmp_path / "fresh.json"
+        fresh_file.write_text(json.dumps({"BENCH_plan": fresh_like()}))
+        rc = compare_bench.main(
+            ["--only", "BENCH_plan", "--baselines", str(tmp_path / "nowhere"),
+             "--fresh", str(fresh_file)]
+        )
+        assert rc == 1
+
+    def test_update_writes_baseline(self, tmp_path):
+        fresh = fresh_like(**{"brick_step/generic_s": 9e-4})
+        assert self.run_main(tmp_path, BASELINE, fresh, "--update") == 0
+        written = json.loads((tmp_path / "BENCH_plan.json").read_text())
+        assert written["brick_step"]["generic_s"] == pytest.approx(9e-4)

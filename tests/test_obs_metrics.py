@@ -1,0 +1,91 @@
+"""Metrics registry: accumulation, per-rank bucketing, threads, disable."""
+
+import threading
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def make():
+    m = MetricsRegistry()
+    m.enable()
+    return m
+
+
+class TestCounters:
+    def test_disabled_records_nothing(self):
+        m = MetricsRegistry()
+        m.count("x", 5)
+        assert m.counter_total("x") == 0
+        assert m.snapshot() == {"counters": {}, "gauges": {}}
+
+    def test_accumulates(self):
+        m = make()
+        m.count("bytes", 10)
+        m.count("bytes", 32)
+        m.count("bytes")  # default increment of 1
+        assert m.counter_total("bytes") == 43
+
+    def test_per_rank_buckets(self):
+        m = make()
+        m.count("msgs", 2, rank=0)
+        m.count("msgs", 3, rank=1)
+        m.count("msgs", 4, rank=0)
+        m.count("msgs", 7)  # unranked bucket kept separate
+        assert m.counter_by_rank("msgs") == {0: 6, 1: 3, "-": 7}
+        assert m.counter_total("msgs") == 16
+
+    def test_accumulates_across_rank_threads(self):
+        m = make()
+        nranks, per_rank = 8, 50
+
+        def work(rank):
+            for _ in range(per_rank):
+                m.count("ops", 1, rank=rank)
+            m.count("ops", 100, rank=rank)
+
+        threads = [threading.Thread(target=work, args=(r,)) for r in range(nranks)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert m.counter_total("ops") == nranks * (per_rank + 100)
+        by_rank = m.counter_by_rank("ops")
+        assert all(by_rank[r] == per_rank + 100 for r in range(nranks))
+
+    def test_reenable_clears(self):
+        m = make()
+        m.count("x", 5)
+        m.enable()
+        assert m.counter_total("x") == 0
+
+
+class TestGauges:
+    def test_last_write_wins(self):
+        m = make()
+        m.gauge("regions", 3, rank=0)
+        m.gauge("regions", 5, rank=0)
+        snap = m.snapshot()
+        assert snap["gauges"]["regions"]["per_rank"] == {"0": 5}
+
+    def test_per_rank_gauges_sum_in_total(self):
+        m = make()
+        for r in range(4):
+            m.gauge("regions", r + 1, rank=r)
+        assert snap_total(m, "regions") == 10
+
+
+def snap_total(m, name):
+    return m.snapshot()["gauges"][name]["total"]
+
+
+class TestSnapshot:
+    def test_json_ready_shape(self):
+        import json
+
+        m = make()
+        m.count("a.b", 2, rank=1)
+        m.gauge("g", 7)
+        snap = m.snapshot()
+        json.dumps(snap)  # stringified keys, plain types
+        assert snap["counters"]["a.b"] == {"total": 2, "per_rank": {"1": 2}}
+        assert snap["gauges"]["g"]["per_rank"] == {"-": 7}

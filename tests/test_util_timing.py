@@ -73,3 +73,17 @@ class TestPhaseTimer:
             with t.phase("pack"):
                 time.sleep(0.002)
         assert t.breakdown.pack >= 0.004
+
+    def test_records_and_reraises_on_exception(self):
+        t = PhaseTimer()
+        with pytest.raises(RuntimeError, match="boom"):
+            with t.phase("wait"):
+                time.sleep(0.005)
+                raise RuntimeError("boom")
+        # The elapsed time before the raise is still charged.
+        assert t.breakdown.wait >= 0.003
+
+    def test_exit_does_not_suppress(self):
+        ctx = PhaseTimer().phase("calc")
+        ctx.__enter__()
+        assert ctx.__exit__(RuntimeError, RuntimeError("x"), None) is False
