@@ -4,10 +4,12 @@
 CI's perf-regression gate.  Re-measures the benchmark suites that have a
 committed baseline at the repo root -- ``BENCH_plan.json`` (compiled
 execution plans, same configuration as
-``benchmarks/test_measured_plan.py``) and ``BENCH_trace.json`` (traced
+``benchmarks/test_measured_plan.py``), ``BENCH_trace.json`` (traced
 executed run, same configuration as
-:data:`repro.bench.tracebench.DEFAULT_TRACE_CONFIG`) -- and walks every
-baseline key, comparing by key shape:
+:data:`repro.bench.tracebench.DEFAULT_TRACE_CONFIG`) and
+``BENCH_chaos.json`` (seeded fault-injection soak; all keys are
+deterministic counts, compared exactly) -- and walks every baseline
+key, comparing by key shape:
 
 * absolute timings (leaf key or any ancestor key ending ``_s``): lower is
   better, fresh may exceed baseline by at most ``--tolerance``; dropped
@@ -45,7 +47,7 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 
 #: baseline file stem -> measurement function name (resolved lazily so
 #: ``--fresh`` diffs need no importable repro package at all)
-SUITES = ("BENCH_plan", "BENCH_trace")
+SUITES = ("BENCH_plan", "BENCH_trace", "BENCH_chaos")
 
 
 def _ensure_repro_importable() -> None:
@@ -171,9 +173,49 @@ def measure_trace(quick: bool = False) -> Dict[str, Any]:
     return stats
 
 
+def measure_chaos(quick: bool = False) -> Dict[str, Any]:
+    """Re-run ``BENCH_chaos.json``: the seeded fault-injection soak.
+
+    Everything here is a deterministic count (injected/healed event
+    totals, outcomes, schedule digests) -- no ``_s`` keys -- so the
+    comparison is exact: any drift in the fault schedule or the healing
+    protocol is a behaviour change, not noise.  The per-trial
+    determinism rerun is left to the CI chaos job; this suite asserts
+    cross-run (committed-baseline) reproducibility instead.
+    """
+    _ensure_repro_importable()
+    from repro.faults.chaos import ChaosConfig, run_soak
+
+    del quick  # counts are deterministic; nothing to trim
+    config = ChaosConfig(
+        trials=7, seed=0, steps=2, timeout_s=20.0, check_determinism=False
+    )
+    report = run_soak(config)
+    return {
+        "trials": config.trials,
+        "seed": config.seed,
+        "steps": config.steps,
+        "outcomes": report.counts(),
+        "passed": report.passed,
+        "per_trial": [
+            {
+                "preset": t.preset,
+                "method": t.method,
+                "outcome": t.outcome,
+                "events": t.events,
+                "schedule_digest": t.digest,
+                "demotions": t.demotions,
+                "final_method": t.final_method,
+            }
+            for t in report.trials
+        ],
+    }
+
+
 MEASURERS: Dict[str, Callable[[bool], Dict[str, Any]]] = {
     "BENCH_plan": measure_plan,
     "BENCH_trace": measure_trace,
+    "BENCH_chaos": measure_chaos,
 }
 
 

@@ -20,6 +20,11 @@ Commands
 ``validate``
     Self-check: run every executable method on a small problem and
     verify all of them against the reference.
+``chaos``
+    Seeded fault-injection soak: corrupt/drop/duplicate/delay wire
+    faults, scheduled rank crashes and MemMap degradation, with a
+    survival/detection report.  Exits nonzero on any silent corruption
+    or unexpected error (the CI chaos job gates on this).
 """
 
 from __future__ import annotations
@@ -235,6 +240,30 @@ def _cmd_validate(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.faults.chaos import ChaosConfig, run_soak
+
+    if args.quick:
+        config = ChaosConfig.quick(trials=args.trials, seed=args.seed)
+    else:
+        config = ChaosConfig(trials=args.trials, seed=args.seed)
+    if args.no_recheck:
+        config = ChaosConfig(
+            trials=config.trials, seed=config.seed, steps=config.steps,
+            timeout_s=config.timeout_s, check_determinism=False,
+        )
+    report = run_soak(config)
+    print(report.render())
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(report.to_literal(), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0 if report.passed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -308,6 +337,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--machine", choices=("theta", "summit", "generic"),
                    default="theta")
     p.set_defaults(fn=_cmd_validate)
+
+    p = sub.add_parser("chaos", help="seeded fault-injection soak")
+    p.add_argument("--trials", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--quick", action="store_true",
+                   help="shorter runs (2 steps/trial, tighter timeout)")
+    p.add_argument("--no-recheck", action="store_true",
+                   help="skip the per-trial determinism rerun")
+    p.add_argument("--json", metavar="PATH",
+                   help="also write the report as JSON")
+    p.set_defaults(fn=_cmd_chaos)
 
     return parser
 

@@ -13,6 +13,7 @@ bit-for-bit.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -40,14 +41,23 @@ from repro.core.model import (
     _schedules,
 )
 from repro.core.problem import StencilProblem
+from repro.faults.errors import (
+    ExchangeIntegrityError,
+    ExchangeTimeoutError,
+    InjectedCrashError,
+)
+from repro.faults.plan import FaultPlan, RetryPolicy
+from repro.faults.runtime import FaultInjector
 from repro.obs import METRICS as _METRICS
 from repro.obs import TRACER as _TRACER
+from repro.exchange.brickpack import BrickPackExchanger
 from repro.exchange.layout_ex import LayoutExchanger
 from repro.exchange.memmap_ex import MemMapExchanger
 from repro.exchange.mpitypes import MPITypesExchanger
 from repro.exchange.pack import PackExchanger
 from repro.exchange.shift import ShiftExchanger
 from repro.hardware.profiles import MachineProfile, generic_host
+from repro.simmpi.collectives import allreduce
 from repro.simmpi.comm import SimComm
 from repro.simmpi.fabric import SimFabric
 from repro.simmpi.launcher import run_spmd
@@ -76,6 +86,9 @@ class ExecutedRun:
     padding_fraction: float
     mapping_count: int  # MemMap only; 0 otherwise
     exchange_period: int = 1  # steps between exchanges (ghost expansion)
+    final_method: str = ""  # exchange engine in use at the end of the run
+    demotions: int = 0  # total degradation-ladder steps across all ranks
+    faults: Optional[dict] = None  # injector summary (chaos runs only)
 
 
 def _make_exchanger(
@@ -105,6 +118,107 @@ def _make_exchanger(
             cart, decomp, storage, assignment, profile, page_size
         )
     raise ValueError(f"method {info.name!r} is model-only and cannot execute")
+
+
+# Degradation ladder for MemMap runs: when the mapping machinery fails
+# (mmap refusal, vm.max_map_count budget), the run demotes -- collectively
+# -- to basic Layout exchange over the same padded storage, and from there
+# to staged brick packing.  Only the exchange engine changes; storage,
+# assignment and results stay identical.
+_LADDER = ("memmap", "basic", "brickpack")
+
+
+def _ladder_exchanger(level, cart, profile, decomp, storage, assignment, page):
+    if level == 0:
+        return MemMapExchanger(cart, decomp, storage, assignment, profile, page)
+    if level == 1:
+        return LayoutExchanger(
+            cart, decomp, storage, assignment, profile, merge_runs=False
+        )
+    return BrickPackExchanger(cart, decomp, storage, assignment, profile)
+
+
+def _build_ladder(
+    cart, level, profile, decomp, storages, assignment, page,
+    injector, counters, step,
+):
+    """Build exchangers at *level*, demoting collectively on failure.
+
+    Every rank votes (allreduce-max) on whether any construction failed;
+    demotion is all-or-none so peers always run wire-compatible engines.
+    Returns ``(exchangers, level)``.
+    """
+    rank = cart.rank
+    while True:
+        built = []
+        try:
+            for st in storages:
+                built.append(
+                    _ladder_exchanger(
+                        level, cart, profile, decomp, st, assignment, page
+                    )
+                )
+            failed = 0
+        except (OSError, ValueError):
+            failed = 1
+        if not int(allreduce(cart, np.asarray(failed), np.maximum)):
+            return built, level
+        for ex in built:
+            close = getattr(ex, "close", None)
+            if close:
+                close()
+        if level + 1 >= len(_LADDER):
+            raise RuntimeError(
+                "degradation ladder exhausted: even brick packing failed"
+            )
+        level += 1
+        counters["demotions"] += 1
+        if injector is not None:
+            injector.record("demoted", src=rank, step=step)
+        if _METRICS.enabled:
+            _METRICS.count("faults.demoted", 1, rank=rank)
+            _METRICS.gauge("exchange.ladder_level", level, rank=rank)
+
+
+def _vmem_probe_failed(storage, page: int) -> bool:
+    """Try the cheapest possible stitched view; True when mapping fails."""
+    try:
+        view = storage.make_view([(0, page)])
+    except OSError:
+        return True
+    view.close()
+    return False
+
+
+def _exchange_with_retry(comm, exchanger, t, envelope, retry, injector):
+    """One exchange, healed by bounded retry-with-backoff.
+
+    Safe because detected faults leave a pristine retransmit queued and
+    the envelope fabric makes whole-exchange retries idempotent (posts
+    suppressed, deliveries replayed); see DESIGN.md.
+    """
+    rank = comm.rank
+    if envelope:
+        comm.set_epoch(t)
+    try:
+        attempt = 0
+        while True:
+            try:
+                result = exchanger.exchange()
+            except (ExchangeIntegrityError, ExchangeTimeoutError):
+                if retry is None or attempt >= retry.max_retries:
+                    raise
+                if injector is not None:
+                    injector.record("retry", src=rank, step=t)
+                time.sleep(retry.sleep_for(attempt))
+                attempt += 1
+                continue
+            if attempt and injector is not None:
+                injector.record("healed", src=rank, step=t)
+            return result
+    finally:
+        if envelope:
+            comm.set_epoch(None)
 
 
 def _modelled_totals(
@@ -168,6 +282,10 @@ def _rank_fn(
     page_size: Optional[int],
     exchange_period,
     use_plans: bool,
+    injector: Optional[FaultInjector] = None,
+    envelope: bool = False,
+    retry: Optional[RetryPolicy] = None,
+    degrade_enabled: bool = False,
 ):
     info = method_info(method)
     cart = comm.Create_cart(
@@ -183,8 +301,16 @@ def _rank_fn(
     own_slc = owned_slices(ext, g)
     owned_points = problem.points_per_rank
 
-    counters = {"msgs": 0, "wire": 0, "payload": 0, "maps": 0}
+    counters = {"msgs": 0, "wire": 0, "payload": 0, "maps": 0, "demotions": 0}
     timer = PhaseTimer()  # measured wall-clock of the real kernel path
+    rank = comm.rank
+
+    def crash_check(t: int) -> None:
+        if injector is not None and injector.crash_due(rank, t):
+            raise InjectedCrashError(
+                f"rank {rank} crashed at step {t} (scheduled by fault plan"
+                f" seed {injector.plan.seed})"
+            )
 
     if not info.uses_bricks:
         period = _resolve_period(exchange_period, g // spec.radius, "element")
@@ -212,14 +338,17 @@ def _rank_fn(
         )
         src, dst = 0, 1
         arrays = [a, b]
-        rank = comm.rank
         for t in range(timesteps):
             pos = t % period
+            crash_check(t)
             with _TRACER.span("driver.step", rank=rank, step=t):
                 if pos == 0:
                     with _TRACER.span("driver.exchange", rank=rank, step=t,
                                       method=info.name):
-                        res = exchangers[src].exchange()
+                        res = _exchange_with_retry(
+                            comm, exchangers[src], t, envelope, retry,
+                            injector,
+                        )
                     counters["msgs"] += res.messages_sent
                     counters["wire"] += res.wire_bytes_sent
                     counters["payload"] += res.payload_bytes_sent
@@ -266,12 +395,19 @@ def _rank_fn(
             for pos in range(period)
         ]
         storages = [sa, sb]
-        exchangers = [
-            _make_exchanger(
-                info, cart, problem, profile, None, (decomp, st, asn), page
+        ladder_level = None
+        if degrade_enabled and info.base == "memmap":
+            exchangers, ladder_level = _build_ladder(
+                cart, 0, profile, decomp, storages, asn, page,
+                injector, counters, -1,
             )
-            for st in storages
-        ]
+        else:
+            exchangers = [
+                _make_exchanger(
+                    info, cart, problem, profile, None, (decomp, st, asn), page
+                )
+                for st in storages
+            ]
         tmp = np.zeros(ext_shape, dtype=problem.dtype)
         tmp[own_slc] = owned
         extended_to_bricks(tmp, decomp, sa, asn)
@@ -289,14 +425,49 @@ def _rank_fn(
             else None
         )
         src, dst = 0, 1
-        rank = comm.rank
         for t in range(timesteps):
             pos = t % period
+            crash_check(t)
+            if pos == 0 and ladder_level is not None:
+                # Degradation vote: a rank whose mapping machinery fails a
+                # live probe asks for demotion; allreduce-max keeps every
+                # rank on the same (wire-compatible) engine.
+                want = 0
+                if (
+                    injector is not None
+                    and ladder_level + 1 < len(_LADDER)
+                    and injector.degrade_due(rank, t)
+                ):
+                    with injector.vmem_armed("view_map_chunk"):
+                        if _vmem_probe_failed(storages[src], page):
+                            injector.record("vmem_fault", src=rank, step=t)
+                            want = 1
+                if int(allreduce(cart, np.asarray(want), np.maximum)):
+                    for ex in exchangers:
+                        close = getattr(ex, "close", None)
+                        if close:
+                            close()
+                    counters["demotions"] += 1
+                    if injector is not None:
+                        injector.record("demoted", src=rank, step=t)
+                    if _METRICS.enabled:
+                        _METRICS.count("faults.demoted", 1, rank=rank)
+                        _METRICS.gauge(
+                            "exchange.ladder_level", ladder_level + 1,
+                            rank=rank,
+                        )
+                    exchangers, ladder_level = _build_ladder(
+                        cart, ladder_level + 1, profile, decomp, storages,
+                        asn, page, injector, counters, t,
+                    )
             with _TRACER.span("driver.step", rank=rank, step=t):
                 if pos == 0:
                     with _TRACER.span("driver.exchange", rank=rank, step=t,
                                       method=info.name):
-                        res = exchangers[src].exchange()
+                        res = _exchange_with_retry(
+                            comm, exchangers[src], t, envelope, retry,
+                            injector,
+                        )
                     counters["msgs"] += res.messages_sent
                     counters["wire"] += res.wire_bytes_sent
                     counters["payload"] += res.payload_bytes_sent
@@ -320,10 +491,11 @@ def _rank_fn(
                             )
             src, dst = dst, src
         if info.base == "memmap":
-            counters["maps"] = exchangers[0].mapping_count
+            # After a demotion the live engine may have no mappings at all.
+            counters["maps"] = getattr(exchangers[0], "mapping_count", 0)
             if _METRICS.enabled:
                 _METRICS.gauge(
-                    "memmap.regions", exchangers[0].mapping_count, rank=rank
+                    "memmap.regions", counters["maps"], rank=rank
                 )
         result = bricks_to_extended(
             decomp, storages[src], asn, out=conversion_scratch(decomp)
@@ -345,6 +517,7 @@ def _rank_fn(
         "measured": timer.breakdown,
         "counters": counters,
         "period": period,
+        "final_method": exchangers[0].method,
     }
 
 
@@ -376,6 +549,11 @@ def run_executed(
     page_size: Optional[int] = None,
     exchange_period=None,
     use_plans: Optional[bool] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    verify_wire: bool = False,
+    retry: Optional[RetryPolicy] = None,
+    degrade: Optional[bool] = None,
+    fabric_timeout: Optional[float] = None,
 ) -> ExecutedRun:
     """Run the problem end-to-end on simulated ranks; see module docs.
 
@@ -389,6 +567,24 @@ def run_executed(
     (:mod:`repro.stencil.plan`) -- the default -- or force the generic
     kernels with ``False``.  ``None`` defers to the ``REPRO_NO_PLAN``
     environment variable.  Results are bit-identical either way.
+
+    Chaos-fabric knobs (see README "Robustness"):
+
+    *fault_plan*: a seeded :class:`~repro.faults.FaultPlan` to inject
+    wire faults / crashes / degradation events.  Implies verified
+    (enveloped) exchange.  *verify_wire* turns envelopes on without any
+    injection.  Envelope headers and retries cost wall-clock only:
+    modelled bytes/times and the numerical results are unchanged.
+
+    *retry*: :class:`~repro.faults.RetryPolicy` healing detected faults
+    (defaults to the standard policy whenever envelopes are on; pass
+    ``RetryPolicy(max_retries=0)`` to fail on first detection).
+
+    *degrade*: enable the MemMap->Layout->Pack demotion ladder (defaults
+    to on exactly when the plan schedules degradation events).
+
+    *fabric_timeout*: deadlock timeout in seconds (else the
+    ``REPRO_FABRIC_TIMEOUT`` environment variable, else 30 s).
     """
     if timesteps <= 0:
         raise ValueError("timesteps must be positive")
@@ -399,7 +595,15 @@ def run_executed(
             "'network' is the modelled communication floor; use"
             " repro.core.model.model_timestep for it"
         )
-    fabric = SimFabric(problem.nranks)
+    injector = FaultInjector(fault_plan) if fault_plan is not None else None
+    envelope = verify_wire or injector is not None
+    if envelope and retry is None:
+        retry = RetryPolicy()
+    if degrade is None:
+        degrade = bool(fault_plan is not None and fault_plan.degrade)
+    fabric = SimFabric(problem.nranks, timeout=fabric_timeout)
+    if envelope:
+        fabric.enable_envelope(injector)
     outs = run_spmd(
         problem.nranks,
         _rank_fn,
@@ -411,6 +615,10 @@ def run_executed(
         page_size,
         exchange_period,
         plans_enabled(use_plans),
+        injector,
+        envelope,
+        retry,
+        degrade,
         fabric=fabric,
     )
 
@@ -450,4 +658,7 @@ def run_executed(
         padding_fraction=(c0["wire"] - payload) / payload if payload else 0.0,
         mapping_count=c0["maps"],
         exchange_period=period,
+        final_method=outs[0]["final_method"],
+        demotions=sum(out["counters"]["demotions"] for out in outs),
+        faults=injector.summary() if injector is not None else None,
     )

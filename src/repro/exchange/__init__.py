@@ -21,6 +21,8 @@ Four strategies from the paper's evaluation plus one from related work:
 
 from repro.exchange.base import ExchangeResult, Exchanger
 from repro.exchange.boxes import neighbor_recv_box, neighbor_send_box
+from repro.exchange.brickpack import BrickPackExchanger
+from repro.exchange.envelope import Envelope, checksum, seal, verify
 from repro.exchange.layout_ex import LayoutExchanger
 from repro.exchange.hierarchical import RankDomainGrid
 from repro.exchange.local import LocalDomainGrid
@@ -39,6 +41,8 @@ from repro.exchange.schedule import (
 from repro.exchange.shift import ShiftExchanger
 
 __all__ = [
+    "BrickPackExchanger",
+    "Envelope",
     "ExchangeResult",
     "ExchangeView",
     "Exchanger",
@@ -52,6 +56,9 @@ __all__ = [
     "ShiftExchanger",
     "array_schedule",
     "basic_brick_schedule",
+    "checksum",
+    "seal",
+    "verify",
     "brick_recv_schedule",
     "brick_send_schedule",
     "memmap_schedule",

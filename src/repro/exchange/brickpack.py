@@ -1,0 +1,169 @@
+"""Brick-storage packing exchange: the degradation ladder's last rung.
+
+Functionally this is the classic pack -> send -> recv -> unpack scheme of
+:class:`~repro.exchange.pack.PackExchanger`, but it runs over *brick*
+storage (any alignment, padded or not) instead of a lexicographic array:
+for each neighbor, the surface sections are gathered slot-range by
+slot-range into one persistent staging buffer, sent as a single message,
+and the neighbor's payload is scattered into the ghost sections.
+
+It exists so a rank whose MemMap machinery fails mid-run (mapping budget
+exhausted, mmap refusal) can keep computing on the same brick storage with
+zero re-allocation: MemMap -> Layout -> BrickPack demotion only swaps the
+exchange engine.  The modelled cost honestly re-acquires the packing tax
+the pack-free schemes eliminate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.brick.decomp import BrickDecomp, SlotAssignment
+from repro.brick.info import direction_index
+from repro.brick.storage import BrickStorage
+from repro.exchange.base import ExchangeResult, Exchanger, exchange_tag
+from repro.exchange.schedule import MessageSpec
+from repro.hardware.profiles import MachineProfile
+from repro.layout.messages import message_runs
+from repro.obs import METRICS as _METRICS
+from repro.obs import TRACER as _TRACER
+from repro.simmpi.comm import CartComm
+from repro.util.timing import TimeBreakdown
+
+__all__ = ["BrickPackExchanger"]
+
+
+class BrickPackExchanger(Exchanger):
+    """One staged message per neighbor over brick slot sections."""
+
+    method = "brickpack"
+
+    def __init__(
+        self,
+        comm: CartComm,
+        decomp: BrickDecomp,
+        storage: BrickStorage,
+        assignment: Optional[SlotAssignment] = None,
+        profile: Optional[MachineProfile] = None,
+    ) -> None:
+        from repro.hardware.profiles import generic_host
+
+        super().__init__(comm, profile or generic_host())
+        self.decomp = decomp
+        self.storage = storage
+        self.assignment = assignment or decomp.assignment(1)
+        ndim = decomp.ndim
+        be = decomp.brick_bytes // storage.dtype.itemsize  # elems per brick
+
+        self._plan: List[dict] = []
+        for neighbor in decomp.layout:
+            vec = neighbor.to_vector(ndim)
+            rank = comm.neighbor_rank(vec)
+            if rank is None:
+                continue  # non-periodic boundary: no partner
+            # Surface sections bound for this neighbor, in layout order --
+            # the same payload order as the pack-free schemes, so the
+            # peer's unpack order matches regardless of its own method.
+            send_secs = []
+            for start, length in message_runs(decomp.layout, neighbor):
+                for i in range(start, start + length):
+                    sec = self.assignment.surface[decomp.layout[i]]
+                    if sec.nbricks:
+                        send_secs.append(sec)
+            opp = neighbor.opposite()
+            recv_secs = []
+            for start, length in message_runs(decomp.layout, opp):
+                for i in range(start, start + length):
+                    sec = self.assignment.ghost[(neighbor, decomp.layout[i])]
+                    if sec.nbricks:
+                        recv_secs.append(sec)
+            n_send = sum(s.nbricks for s in send_secs)
+            n_recv = sum(s.nbricks for s in recv_secs)
+            if n_send != n_recv:
+                raise AssertionError(
+                    f"send/recv brick count mismatch for {neighbor.notation()}:"
+                    f" {n_send} vs {n_recv}"
+                )
+            if n_send == 0:
+                continue
+            payload = n_send * decomp.brick_bytes
+            self._plan.append(
+                {
+                    "rank": rank,
+                    "send_tag": exchange_tag(
+                        direction_index(opp.to_vector(ndim)), 0
+                    ),
+                    "recv_tag": exchange_tag(direction_index(vec), 0),
+                    "send_secs": send_secs,
+                    "recv_secs": recv_secs,
+                    # Persistent staging, reused every timestep.
+                    "send_buf": np.empty(n_send * be, dtype=storage.dtype),
+                    "recv_buf": np.empty(n_recv * be, dtype=storage.dtype),
+                    "spec": MessageSpec(
+                        neighbor,
+                        payload_bytes=payload,
+                        wire_bytes=payload,
+                        nsegments=len(send_secs),
+                        run_elems=n_send * be // len(send_secs),
+                    ),
+                }
+            )
+
+    # ------------------------------------------------------------------
+    def send_specs(self) -> List[MessageSpec]:
+        return [p["spec"] for p in self._plan]
+
+    def recv_specs(self) -> List[MessageSpec]:
+        return [p["spec"] for p in self._plan]
+
+    def exchange(self) -> ExchangeResult:
+        st = self.storage
+        be = st.brick_elems
+        rank = self.comm.rank
+        reqs = []
+        with _TRACER.span("exchange.post", rank=rank, method=self.method):
+            for p in self._plan:
+                reqs.append(
+                    self.comm.Irecv(p["recv_buf"], p["rank"], p["recv_tag"])
+                )
+        with _TRACER.span("exchange.pack", rank=rank, method=self.method):
+            for p in self._plan:
+                buf, pos = p["send_buf"], 0
+                for sec in p["send_secs"]:
+                    n = sec.nbricks * be
+                    buf[pos : pos + n] = st.slot_view(sec.start, sec.nbricks)
+                    pos += n
+                reqs.append(
+                    self.comm.Isend(p["send_buf"], p["rank"], p["send_tag"])
+                )
+        with _TRACER.span("exchange.wait", rank=rank, method=self.method):
+            self.comm.Waitall(reqs)
+        with _TRACER.span("exchange.unpack", rank=rank, method=self.method):
+            for p in self._plan:
+                buf, pos = p["recv_buf"], 0
+                for sec in p["recv_secs"]:
+                    n = sec.nbricks * be
+                    st.slot_view(sec.start, sec.nbricks)[:] = buf[pos : pos + n]
+                    pos += n
+        if _METRICS.enabled:
+            staged = sum(
+                p["send_buf"].nbytes + p["recv_buf"].nbytes for p in self._plan
+            )
+            _METRICS.count("exchange.bytes_packed", staged, rank=rank)
+            _METRICS.count("exchange.messages", len(self._plan), rank=rank)
+
+        specs = self.send_specs()
+        breakdown = TimeBreakdown()
+        breakdown.charge("pack", self._pack_cost(specs) * 2)  # pack+unpack
+        call, wait = self._network_times(specs, specs)
+        breakdown.charge("call", call)
+        breakdown.charge("wait", wait)
+        return ExchangeResult(
+            breakdown,
+            messages_sent=len(specs),
+            messages_received=len(specs),
+            payload_bytes_sent=sum(m.payload_bytes for m in specs),
+            wire_bytes_sent=sum(m.wire_bytes for m in specs),
+        )

@@ -55,12 +55,17 @@ class LayoutExchanger(Exchanger):
             # scheme (5^D - 3^D sends), used as the Fig. 4 baseline.
             self.method = "basic"
         self.assignment = assignment or decomp.assignment(1)
-        if self.assignment.alignment != 1:
-            # Padded storage breaks run contiguity; Layout mode pairs with
-            # plain allocation (paper Figure 7 left column).
+        if self.merge_runs and self.assignment.alignment != 1:
+            # Padding slots between sections break *run* contiguity, so
+            # merged messages pair with plain allocation (paper Figure 7
+            # left column).  Basic mode (one message per region) only
+            # needs each section contiguous, which holds at any
+            # alignment -- that is what lets a degraded MemMap rank fall
+            # back to Layout exchange over its padded storage.
             raise ValueError(
-                "LayoutExchanger requires unpadded storage (alignment 1);"
-                " use MemMapExchanger for mmap_alloc storage"
+                "LayoutExchanger with merge_runs requires unpadded storage"
+                " (alignment 1); use MemMapExchanger for mmap_alloc"
+                " storage, or merge_runs=False"
             )
         ndim = decomp.ndim
         bb = decomp.brick_bytes

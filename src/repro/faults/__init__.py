@@ -1,0 +1,27 @@
+"""Deterministic fault injection and the machinery that survives it.
+
+See README.md ("Robustness") for the fault model and degradation ladder,
+and DESIGN.md for why retried exchanges are idempotent.
+"""
+
+from repro.faults.errors import (
+    ExchangeIntegrityError,
+    ExchangeTimeoutError,
+    FaultError,
+    InjectedCrashError,
+)
+from repro.faults.plan import FaultPlan, RetryPolicy
+from repro.faults.runtime import VMEM_FAULTS, FaultEvent, FaultInjector, FaultPoints
+
+__all__ = [
+    "FaultError",
+    "ExchangeIntegrityError",
+    "ExchangeTimeoutError",
+    "InjectedCrashError",
+    "FaultPlan",
+    "RetryPolicy",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPoints",
+    "VMEM_FAULTS",
+]

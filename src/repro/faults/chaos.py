@@ -1,0 +1,261 @@
+"""Seeded chaos soak: run the stencil under injected faults and report.
+
+One soak is a series of *trials*.  Each trial builds a deterministic
+:class:`~repro.faults.FaultPlan` from ``(base seed, trial index)``, picks
+an exchange method and a fault *preset* (wire corruption, drops,
+duplicates, delays, a scheduled rank crash, or MemMap degradation), runs
+the small reference problem end-to-end, and classifies the outcome:
+
+``healed_exact``
+    Faults were injected, every one was detected and healed, and the
+    final state is bit-identical to the serial reference.
+``detected``
+    The run failed, but with a typed fault (or deadlock) as the root
+    cause -- the failure was *noticed*, which is the contract.
+``silent_corruption``
+    The run "succeeded" with a wrong answer.  Never acceptable; the CI
+    chaos job gates on zero of these.
+``unexpected_error``
+    The run failed with something other than a detected fault (or, with
+    determinism checking on, a repeated trial diverged).  Also gated to
+    zero.
+
+Shift is excluded from the soak: its per-axis barrier phases make a
+whole-exchange retry unsafe (peers may already sit at a later barrier),
+so it has no healing story -- the other exchangers retry safely because
+the envelope fabric makes retries idempotent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from threading import BrokenBarrierError
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.faults.errors import FaultError
+from repro.faults.plan import FaultPlan
+
+__all__ = ["ChaosConfig", "TrialResult", "SoakReport", "run_soak", "PRESETS"]
+
+#: Exchange methods the soak cycles through (shift excluded, see above).
+_SOAK_METHODS = ("layout", "memmap", "yask", "mpi_types")
+
+#: Wire-fault probabilities are kept moderate so most trials *heal*
+#: (the interesting case); crash/degrade presets carry zero wire faults
+#: so their event sets stay exactly reproducible even though the run is
+#: torn down mid-flight.
+PRESETS: Dict[str, dict] = {
+    "corrupt": {"corrupt": 0.06},
+    "drop": {"drop": 0.05},
+    "duplicate": {"duplicate": 0.06},
+    "delay": {"delay": 0.15, "delay_s": 0.0002},
+    "mixed": {"drop": 0.02, "corrupt": 0.02, "duplicate": 0.02},
+    "crash": {},
+    "degrade": {},
+}
+
+_PRESET_ORDER = ("corrupt", "drop", "mixed", "duplicate", "degrade", "crash",
+                 "delay")
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Knobs of one soak (defaults match the CI chaos job)."""
+
+    trials: int = 10
+    seed: int = 0
+    steps: int = 3
+    timeout_s: float = 10.0
+    check_determinism: bool = True
+    presets: Tuple[str, ...] = _PRESET_ORDER
+
+    @classmethod
+    def quick(cls, trials: int = 10, seed: int = 0) -> "ChaosConfig":
+        return cls(trials=trials, seed=seed, steps=2, timeout_s=8.0)
+
+
+@dataclass
+class TrialResult:
+    index: int
+    preset: str
+    method: str
+    seed: int
+    outcome: str
+    events: Dict[str, int] = field(default_factory=dict)
+    digest: int = 0
+    demotions: int = 0
+    final_method: str = ""
+    error: str = ""
+
+
+@dataclass
+class SoakReport:
+    config: ChaosConfig
+    trials: List[TrialResult]
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for t in self.trials:
+            out[t.outcome] = out.get(t.outcome, 0) + 1
+        return dict(sorted(out.items()))
+
+    @property
+    def silent(self) -> int:
+        return self.counts().get("silent_corruption", 0)
+
+    @property
+    def unexpected(self) -> int:
+        return self.counts().get("unexpected_error", 0)
+
+    @property
+    def passed(self) -> bool:
+        """The chaos contract: every fault detected or healed, none silent."""
+        return self.silent == 0 and self.unexpected == 0
+
+    def to_literal(self) -> dict:
+        return {
+            "trials": self.config.trials,
+            "seed": self.config.seed,
+            "steps": self.config.steps,
+            "outcomes": self.counts(),
+            "passed": self.passed,
+            "per_trial": [vars(t) for t in self.trials],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"chaos soak: {self.config.trials} trials,"
+            f" base seed {self.config.seed}, {self.config.steps} steps/trial",
+            f"{'#':>3} {'preset':<10} {'method':<10} {'outcome':<17}"
+            f" {'final':<10} {'events'}",
+        ]
+        for t in self.trials:
+            ev = ", ".join(f"{k}={v}" for k, v in sorted(t.events.items()))
+            lines.append(
+                f"{t.index:>3} {t.preset:<10} {t.method:<10} {t.outcome:<17}"
+                f" {t.final_method or '-':<10} {ev or '-'}"
+            )
+        counts = ", ".join(f"{k}: {v}" for k, v in self.counts().items())
+        lines.append(f"outcomes: {counts}")
+        lines.append(
+            "PASS: every injected fault was detected or healed"
+            if self.passed
+            else f"FAIL: {self.silent} silent corruption(s),"
+                 f" {self.unexpected} unexpected error(s)"
+        )
+        return "\n".join(lines)
+
+
+def _root_is_detected(exc: BaseException) -> bool:
+    """Walk the cause chain: did a typed fault/deadlock start this?"""
+    from repro.simmpi.fabric import AbortedError, DeadlockError
+
+    seen = set()
+    node: Optional[BaseException] = exc
+    while node is not None and id(node) not in seen:
+        seen.add(id(node))
+        if isinstance(
+            node, (FaultError, DeadlockError, AbortedError, BrokenBarrierError)
+        ):
+            return True
+        node = node.__cause__ or node.__context__
+    return False
+
+
+def _trial_plan(config: ChaosConfig, index: int, nranks: int,
+                preset: str) -> FaultPlan:
+    seed = config.seed * 1000 + index
+    kwargs = dict(PRESETS[preset])
+    if preset == "crash":
+        # Crash a deterministic non-root rank partway through the run.
+        kwargs["crashes"] = ((1 + (seed % (nranks - 1)), config.steps // 2),)
+    elif preset == "degrade":
+        kwargs["degrade"] = ((seed % nranks, 1),)
+    return FaultPlan(seed=seed, **kwargs)
+
+
+def _run_trial(problem, reference, config: ChaosConfig, index: int):
+    """One chaos trial; returns a :class:`TrialResult`."""
+    from repro.core.driver import run_executed
+
+    preset = config.presets[index % len(config.presets)]
+    method = (
+        "memmap"
+        if preset == "degrade"
+        else _SOAK_METHODS[index % len(_SOAK_METHODS)]
+    )
+    plan = _trial_plan(config, index, problem.nranks, preset)
+    result = TrialResult(
+        index=index, preset=preset, method=method, seed=plan.seed, outcome=""
+    )
+
+    def attempt():
+        return run_executed(
+            problem, method, timesteps=config.steps, seed=0,
+            fault_plan=plan, fabric_timeout=config.timeout_s,
+        )
+
+    try:
+        run = attempt()
+    except BaseException as exc:  # noqa: BLE001 - classified, not swallowed
+        result.outcome = (
+            "detected" if _root_is_detected(exc) else "unexpected_error"
+        )
+        result.error = f"{type(exc).__name__}: {exc}"
+        if _root_is_detected(exc) and config.check_determinism:
+            try:
+                attempt()
+                result.outcome = "unexpected_error"
+                result.error += " (rerun did not reproduce the failure)"
+            except BaseException as again:  # noqa: BLE001
+                if not _root_is_detected(again):
+                    result.outcome = "unexpected_error"
+                    result.error += (
+                        f" (rerun failed differently:"
+                        f" {type(again).__name__})"
+                    )
+        return result
+
+    result.events = dict(run.faults["events"]) if run.faults else {}
+    result.digest = run.faults["schedule_digest"] if run.faults else 0
+    result.demotions = run.demotions
+    result.final_method = run.final_method
+    if not np.array_equal(run.global_result, reference):
+        result.outcome = "silent_corruption"
+        return result
+    result.outcome = "healed_exact"
+    if config.check_determinism:
+        rerun = attempt()
+        if (
+            rerun.faults["schedule_digest"] != result.digest
+            or not np.array_equal(rerun.global_result, reference)
+        ):
+            result.outcome = "unexpected_error"
+            result.error = "rerun diverged: fault schedule or state changed"
+    return result
+
+
+def run_soak(config: Optional[ChaosConfig] = None) -> SoakReport:
+    """Run the full soak on the standard small problem (32^3 over 2^3)."""
+    from repro.core.problem import StencilProblem
+    from repro.stencil.reference import apply_periodic_reference
+    from repro.stencil.spec import SEVEN_POINT
+
+    config = config or ChaosConfig()
+    problem = StencilProblem(
+        global_extent=(32, 32, 32),
+        rank_dims=(2, 2, 2),
+        stencil=SEVEN_POINT,
+        brick_dim=(8, 8, 8),
+        ghost=8,
+    )
+    reference = apply_periodic_reference(
+        problem.initial_global(0), SEVEN_POINT, config.steps
+    )
+    trials = [
+        _run_trial(problem, reference, config, i)
+        for i in range(config.trials)
+    ]
+    return SoakReport(config=config, trials=trials)

@@ -1,0 +1,41 @@
+"""Typed failure taxonomy for the chaos fabric.
+
+Every fault the subsystem can inject -- and every fault the envelope
+layer can *detect* -- surfaces as one of these exception types, so
+callers (the driver's retry path, the chaos soak classifier, tests) can
+tell detected corruption apart from ordinary bugs.  A fault that escapes
+as a plain ``RuntimeError`` counts as *undetected* in the chaos report.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FaultError",
+    "ExchangeIntegrityError",
+    "ExchangeTimeoutError",
+    "InjectedCrashError",
+]
+
+
+class FaultError(RuntimeError):
+    """Base of all detected-fault exceptions."""
+
+
+class ExchangeIntegrityError(FaultError):
+    """A received message failed envelope validation (checksum or
+    sequence number).  The fabric has already queued a pristine
+    retransmit, so a bounded retry of the exchange heals this."""
+
+
+class ExchangeTimeoutError(FaultError):
+    """An expected message was lost on the wire (detected via the
+    envelope sequence numbers).  As with integrity failures, a
+    retransmit is queued before this is raised; retrying heals it."""
+
+
+class InjectedCrashError(FaultError):
+    """A scheduled rank crash from a :class:`~repro.faults.FaultPlan`.
+
+    Raised *by the crashing rank*; peers observe the usual abort fan-out
+    (``AbortedError`` / ``BrokenBarrierError``) and the launcher reports
+    this as the root cause."""

@@ -17,13 +17,24 @@ copy -- matching the zero-copy claim being reproduced.
 from repro.simmpi.collectives import allgather, allreduce, broadcast, reduce_to_root
 from repro.simmpi.comm import CartComm, SimComm
 from repro.simmpi.datatypes import ContiguousType, SubarrayType, VectorType
-from repro.simmpi.fabric import FabricStats, SimFabric
+from repro.simmpi.fabric import (
+    AbortedError,
+    DeadlockError,
+    ExchangeIntegrityError,
+    ExchangeTimeoutError,
+    FabricStats,
+    SimFabric,
+)
 from repro.simmpi.launcher import run_spmd
 from repro.simmpi.request import SimRequest
 
 __all__ = [
+    "AbortedError",
     "CartComm",
     "ContiguousType",
+    "DeadlockError",
+    "ExchangeIntegrityError",
+    "ExchangeTimeoutError",
     "FabricStats",
     "SimComm",
     "SimFabric",

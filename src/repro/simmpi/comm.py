@@ -65,6 +65,15 @@ class SimComm:
     def Barrier(self) -> None:
         self.fabric.barrier.wait()
 
+    def set_epoch(self, epoch: Optional[int]) -> None:
+        """Mark this rank's exchange epoch on the fabric (verified mode).
+
+        The driver brackets each halo exchange with ``set_epoch(step)`` /
+        ``set_epoch(None)`` so retried exchanges stay idempotent; a no-op
+        concept on an unverified fabric (the epoch is simply unused).
+        """
+        self.fabric.set_epoch(self.rank, epoch)
+
     # -- topology helpers -------------------------------------------------
     def Create_cart(
         self, dims: Sequence[int], periods: Optional[Sequence[bool]] = None

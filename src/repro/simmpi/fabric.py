@@ -8,24 +8,60 @@ copies and signals the sender's completion event.
 
 Statistics (message and byte counts) are recorded per rank; the modelled
 clocks use them and the tests assert on them.
+
+Verified mode (the chaos fabric)
+--------------------------------
+``enable_envelope()`` switches every message onto the envelope protocol of
+:mod:`repro.exchange.envelope`: payloads are frozen (copied) at post time,
+stamped with a per-edge sequence number and CRC32, and validated by the
+receiver.  Detected faults raise the typed errors from
+:mod:`repro.faults.errors` *after* a pristine retransmit has been queued,
+so a bounded retry of the exchange heals them.  Three auxiliary structures
+make whole-exchange retries idempotent:
+
+* **post suppression** -- within one exchange *epoch* (set per rank by the
+  driver), a second post on the same edge is a retransmit of data already
+  on the wire and is silently absorbed;
+* **duplicate discard** -- deliveries with ``seq <= delivered`` are wire
+  duplicates and are dropped;
+* **delivery replay** -- a re-posted receive for an edge already delivered
+  in the current epoch is served from the cached payload.
+
+With the envelope disabled (the default) the original zero-overhead path
+runs, bit-identical to the unverified fabric.
 """
 
 from __future__ import annotations
 
+import os
 import threading
+import time
 from collections import defaultdict, deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.faults.errors import ExchangeIntegrityError, ExchangeTimeoutError
 from repro.obs import METRICS as _METRICS
 from repro.obs import TRACER as _TRACER
 
-__all__ = ["SimFabric", "FabricStats", "DeadlockError", "AbortedError"]
+__all__ = [
+    "SimFabric",
+    "FabricStats",
+    "DeadlockError",
+    "AbortedError",
+    "ExchangeIntegrityError",
+    "ExchangeTimeoutError",
+]
 
-#: Seconds an unmatched operation waits before declaring a deadlock.
+#: Default seconds an unmatched operation waits before declaring a
+#: deadlock.  Per-fabric overrides: constructor arg, then the
+#: ``REPRO_FABRIC_TIMEOUT`` environment variable, then this module global
+#: (kept for monkeypatch-style test overrides).
 _DEADLOCK_TIMEOUT = 30.0
+
+_TIMEOUT_ENV = "REPRO_FABRIC_TIMEOUT"
 
 
 class DeadlockError(RuntimeError):
@@ -43,12 +79,17 @@ class FabricStats:
 
 
 class _SendEntry:
-    __slots__ = ("buf", "done", "src")
+    __slots__ = ("buf", "wire", "done", "src", "seq", "crc", "epoch", "lost")
 
     def __init__(self, buf: np.ndarray, src: int = -1) -> None:
-        self.buf = buf
+        self.buf = buf          # pristine payload (frozen copy when verified)
+        self.wire = buf         # what the receiver sees (may be corrupted)
         self.done = threading.Event()
         self.src = src
+        self.seq = 0            # envelope sequence number (verified mode)
+        self.crc = 0            # envelope checksum of the pristine payload
+        self.epoch = None       # sender's exchange epoch at post time
+        self.lost = False       # first transmission dropped on the wire
 
 
 class AbortedError(RuntimeError):
@@ -58,10 +99,22 @@ class AbortedError(RuntimeError):
 class SimFabric:
     """The shared network of one SPMD run."""
 
-    def __init__(self, nranks: int) -> None:
+    def __init__(self, nranks: int, timeout: Optional[float] = None) -> None:
         if nranks <= 0:
             raise ValueError("nranks must be positive")
         self.nranks = nranks
+        if timeout is None:
+            env = os.environ.get(_TIMEOUT_ENV)
+            if env:
+                try:
+                    timeout = float(env)
+                except ValueError:
+                    raise ValueError(
+                        f"{_TIMEOUT_ENV}={env!r} is not a valid number"
+                    ) from None
+        if timeout is not None and timeout <= 0:
+            raise ValueError("fabric timeout must be positive")
+        self._timeout = timeout
         self._lock = threading.Condition()
         self._mailboxes: Dict[Tuple[int, int, int], Deque[_SendEntry]] = defaultdict(
             deque
@@ -69,6 +122,50 @@ class SimFabric:
         self.stats: List[FabricStats] = [FabricStats() for _ in range(nranks)]
         self.barrier = threading.Barrier(nranks)
         self._failed = False
+        # -- verified-mode state (inert while _envelope is False) --------
+        self._envelope = False
+        self._injector = None
+        self._epochs: List[Optional[int]] = [None] * nranks
+        self._send_seq: Dict[Tuple[int, int, int], int] = {}
+        self._delivered: Dict[Tuple[int, int, int], int] = {}
+        self._posted_epoch: Dict[Tuple[int, int, int], int] = {}
+        self._replay: Dict[Tuple[int, int, int], Tuple[int, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def timeout(self) -> float:
+        """Active deadlock timeout in seconds."""
+        return self._timeout if self._timeout is not None else _DEADLOCK_TIMEOUT
+
+    def set_timeout(self, timeout: Optional[float]) -> None:
+        if timeout is not None and timeout <= 0:
+            raise ValueError("fabric timeout must be positive")
+        self._timeout = timeout
+
+    # ------------------------------------------------------------------
+    def enable_envelope(self, injector=None) -> None:
+        """Switch to verified (sequence + checksum) delivery.
+
+        *injector* is an optional :class:`~repro.faults.FaultInjector`
+        whose plan decides which transmissions to drop/corrupt/duplicate/
+        delay.  Verification works without one.
+        """
+        self._envelope = True
+        self._injector = injector
+
+    @property
+    def envelope_enabled(self) -> bool:
+        return self._envelope
+
+    def set_epoch(self, rank: int, epoch: Optional[int]) -> None:
+        """Mark *rank*'s current exchange epoch (None between exchanges).
+
+        Epochs scope the idempotency machinery: only posts carrying an
+        epoch are subject to injection, suppression, and replay, so
+        collective/control traffic stays on plain verified delivery.
+        """
+        self._check_rank(rank)
+        self._epochs[rank] = epoch
 
     # ------------------------------------------------------------------
     def _check_rank(self, rank: int) -> None:
@@ -80,9 +177,73 @@ class SimFabric:
         self._check_rank(src)
         self._check_rank(dst)
         buf = np.ascontiguousarray(buf)
+        if self._envelope:
+            return self._post_verified(src, dst, tag, buf)
         entry = _SendEntry(buf, src)
         with self._lock:
             self._mailboxes[(src, dst, tag)].append(entry)
+            self.stats[src].sends += 1
+            self.stats[src].bytes_sent += buf.nbytes
+            self._lock.notify_all()
+        if _METRICS.enabled:
+            _METRICS.count("fabric.messages", 1, rank=src)
+            _METRICS.count("fabric.wire_bytes", buf.nbytes, rank=src)
+        return entry
+
+    def _post_verified(self, src: int, dst: int, tag: int,
+                       buf: np.ndarray) -> _SendEntry:
+        from repro.exchange.envelope import checksum
+
+        edge = (src, dst, tag)
+        epoch = self._epochs[src]
+        with self._lock:
+            if epoch is not None and self._posted_epoch.get(edge) == epoch:
+                # Retransmit within one exchange epoch: the payload is
+                # already on the wire (or delivered); absorb the re-post.
+                entry = _SendEntry(buf, src)
+                entry.done.set()
+                suppressed = True
+            else:
+                suppressed = False
+                seq = self._send_seq.get(edge, 0) + 1
+                self._send_seq[edge] = seq
+                if epoch is not None:
+                    self._posted_epoch[edge] = epoch
+        if suppressed:
+            if self._injector is not None:
+                self._injector.record("resend_suppressed", src=src, dst=dst,
+                                      tag=tag)
+            return entry
+
+        # Freeze the payload: the wire carries this epoch's data even if
+        # brick storage mutates before delivery, and the checksum stays
+        # valid.  (Header + copy are wall-clock-only: modelled bytes and
+        # times never include them.)
+        payload = buf.copy()
+        entry = _SendEntry(payload, src)
+        entry.seq = seq
+        entry.crc = checksum(payload)
+        entry.epoch = epoch
+
+        duplicate = False
+        if self._injector is not None and epoch is not None:
+            action = self._injector.on_post(src, dst, tag, seq)
+            if action == "delay":
+                time.sleep(self._injector.plan.delay_s)
+            elif action == "corrupt":
+                entry.wire = self._injector.corrupt(payload, src, dst, tag, seq)
+            elif action == "drop":
+                entry.lost = True
+            elif action == "duplicate":
+                duplicate = True
+
+        with self._lock:
+            q = self._mailboxes[edge]
+            q.append(entry)
+            if duplicate:
+                dup = _SendEntry(payload, src)
+                dup.seq, dup.crc, dup.epoch = entry.seq, entry.crc, epoch
+                q.append(dup)
             self.stats[src].sends += 1
             self.stats[src].bytes_sent += buf.nbytes
             self._lock.notify_all()
@@ -99,39 +260,44 @@ class SimFabric:
         deadlock after the same timeout as receives.
         """
         rank = entry.src if entry.src >= 0 else None
+        timeout = self.timeout
+        poll = min(0.1, timeout / 10.0)
         with _TRACER.span("fabric.send_wait", rank=rank):
-            waited = 0.0
-            while not entry.done.wait(timeout=0.1):
-                waited += 0.1
+            deadline = time.monotonic() + timeout
+            while not entry.done.wait(timeout=poll):
                 with self._lock:
                     if self._failed:
                         raise AbortedError(
                             "another rank failed; abandoning send"
                         )
-                if waited >= _DEADLOCK_TIMEOUT:
+                if time.monotonic() >= deadline:
                     self.abort()
                     raise DeadlockError(
-                        f"send unmatched after {_DEADLOCK_TIMEOUT}s"
+                        f"send unmatched after {timeout}s"
                     )
 
     def complete_recv(self, src: int, dst: int, tag: int, buf: np.ndarray) -> None:
         """Block until a matching send exists, then copy it into *buf*."""
         self._check_rank(src)
         self._check_rank(dst)
+        if self._envelope:
+            return self._recv_verified(src, dst, tag, buf)
         key = (src, dst, tag)
+        timeout = self.timeout
         with _TRACER.span("fabric.recv", rank=dst, src=src):
             with self._lock:
-                deadline = _DEADLOCK_TIMEOUT
+                deadline = time.monotonic() + timeout
                 while not self._mailboxes.get(key):
                     if self._failed:
                         raise AbortedError(
                             "another rank failed; aborting receive"
                         )
-                    if not self._lock.wait(timeout=deadline):
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._lock.wait(timeout=remaining):
                         self._failed = True
                         self._lock.notify_all()
                         raise DeadlockError(
-                            f"rank {dst} waited {_DEADLOCK_TIMEOUT}s for"
+                            f"rank {dst} waited {timeout}s for"
                             f" message (src={src}, tag={tag})"
                         )
                 entry = self._mailboxes[key].popleft()
@@ -145,6 +311,129 @@ class SimFabric:
                     f" {flat.size}"
                 )
             flat[:] = src_flat  # the single wire copy
+            self.stats[dst].recvs += 1
+            self.stats[dst].bytes_received += buf.nbytes
+            entry.done.set()
+        if _METRICS.enabled:
+            _METRICS.count("fabric.bytes_received", buf.nbytes, rank=dst)
+
+    # ------------------------------------------------------------------
+    def _copy_into(self, src_buf: np.ndarray, buf: np.ndarray,
+                   edge: Tuple[int, int, int]) -> np.ndarray:
+        """The single wire copy, with the size guard; returns buf flat."""
+        flat = buf.reshape(-1)
+        src_flat = src_buf.reshape(-1).view(flat.dtype)
+        if src_flat.size != flat.size:
+            self.abort()
+            raise ValueError(
+                f"message size mismatch on (src={edge[0]}, dst={edge[1]},"
+                f" tag={edge[2]}): sent {src_flat.size} elements, receiving"
+                f" {flat.size}"
+            )
+        flat[:] = src_flat
+        return flat
+
+    def _requeue_pristine(self, key: Tuple[int, int, int],
+                          entry: _SendEntry) -> None:
+        """Queue a clean retransmit of *entry* at the front of its edge."""
+        entry.wire = entry.buf
+        entry.lost = False
+        with self._lock:
+            self._mailboxes[key].appendleft(entry)
+            self._lock.notify_all()
+
+    def _recv_verified(self, src: int, dst: int, tag: int,
+                       buf: np.ndarray) -> None:
+        from repro.exchange.envelope import checksum
+
+        key = (src, dst, tag)
+        timeout = self.timeout
+        injector = self._injector
+        with _TRACER.span("fabric.recv", rank=dst, src=src):
+            epoch = self._epochs[dst]
+            entry = None
+            replay = None
+            with self._lock:
+                deadline = time.monotonic() + timeout
+                while True:
+                    if self._failed:
+                        raise AbortedError(
+                            "another rank failed; aborting receive"
+                        )
+                    # A re-posted receive for an edge already delivered in
+                    # this epoch is served from the delivery cache -- any
+                    # mailbox entry on the edge is future traffic.
+                    if epoch is not None:
+                        cached = self._replay.get(key)
+                        if cached is not None and cached[0] == epoch:
+                            replay = cached[1]
+                            break
+                    q = self._mailboxes.get(key)
+                    if q:
+                        candidate = q.popleft()
+                        if candidate.seq <= self._delivered.get(key, 0):
+                            # Wire duplicate (injected or stale retransmit).
+                            candidate.done.set()
+                            if injector is not None:
+                                injector.record("duplicate_discarded",
+                                                src=src, dst=dst, tag=tag,
+                                                seq=candidate.seq)
+                            continue
+                        entry = candidate
+                        break
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._lock.wait(timeout=remaining):
+                        self._failed = True
+                        self._lock.notify_all()
+                        raise DeadlockError(
+                            f"rank {dst} waited {timeout}s for"
+                            f" message (src={src}, tag={tag})"
+                        )
+
+            if replay is not None:
+                self._copy_into(replay, buf, key)
+                if injector is not None:
+                    injector.record("replayed", src=src, dst=dst, tag=tag)
+                return
+
+            if entry.lost:
+                # The envelope sequence numbers expose the loss; model the
+                # sender's retransmission (reads straight from the frozen
+                # payload), then report the timeout to the caller.
+                self._requeue_pristine(key, entry)
+                if injector is not None:
+                    injector.record("retransmit", src=src, dst=dst, tag=tag,
+                                    seq=entry.seq)
+                raise ExchangeTimeoutError(
+                    f"message (src={src}, dst={dst}, tag={tag},"
+                    f" seq={entry.seq}) lost on the wire; retransmit queued"
+                )
+
+            flat = self._copy_into(entry.wire, buf, key)
+            expected = self._delivered.get(key, 0) + 1
+            crc = checksum(flat)
+            if entry.seq != expected or crc != entry.crc:
+                self._requeue_pristine(key, entry)
+                if injector is not None:
+                    injector.record("retransmit", src=src, dst=dst, tag=tag,
+                                    seq=entry.seq)
+                if entry.seq != expected:
+                    raise ExchangeIntegrityError(
+                        f"sequence gap on (src={src}, dst={dst}, tag={tag}):"
+                        f" got seq {entry.seq}, expected {expected}"
+                    )
+                raise ExchangeIntegrityError(
+                    f"checksum mismatch on (src={src}, dst={dst}, tag={tag},"
+                    f" seq={entry.seq}): wire crc {crc:#010x} !="
+                    f" sent {entry.crc:#010x}"
+                )
+
+            with self._lock:
+                self._delivered[key] = entry.seq
+                if epoch is not None:
+                    # entry.buf is the frozen pristine payload: cache it by
+                    # reference for idempotent replays, no extra copy.
+                    self._replay[key] = (epoch, entry.buf)
             self.stats[dst].recvs += 1
             self.stats[dst].bytes_received += buf.nbytes
             entry.done.set()

@@ -23,16 +23,22 @@ def run_spmd(
     fn: Callable[..., Any],
     *args: Any,
     fabric: Optional[SimFabric] = None,
+    timeout: Optional[float] = None,
     **kwargs: Any,
 ) -> List[Any]:
     """Run ``fn(comm, *args, **kwargs)`` on every rank; return results.
 
     The returned list is indexed by rank.  *fabric* may be supplied to
-    inspect statistics afterwards.
+    inspect statistics afterwards.  *timeout* (seconds) overrides the
+    fabric deadlock timeout for a fabric created here; resolution order
+    is this argument, then ``REPRO_FABRIC_TIMEOUT`` in the environment,
+    then the module default (30 s).
     """
     if nranks <= 0:
         raise ValueError("nranks must be positive")
-    fab = fabric or SimFabric(nranks)
+    if fabric is not None and timeout is not None:
+        fabric.set_timeout(timeout)
+    fab = fabric or SimFabric(nranks, timeout=timeout)
     if fab.nranks != nranks:
         raise ValueError("supplied fabric has the wrong size")
     results: List[Any] = [None] * nranks

@@ -33,6 +33,10 @@ class SimRequest:
         """Non-standard convenience: completed yet? (no progress made)."""
         return self.done
 
+    def __repr__(self) -> str:
+        state = "done" if self.done else "pending"
+        return f"<SimRequest {self.kind} {state}>"
+
     @staticmethod
     def waitall(requests: Iterable["SimRequest"]) -> None:
         """Complete a batch.

@@ -26,6 +26,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro.faults.runtime import VMEM_FAULTS
 from repro.vmem.arena import Arena
 from repro.vmem.view import StitchedViewBase
 
@@ -95,9 +96,21 @@ class MemfdArena(Arena):
         super().__init__(nbytes, page_size)
         if not realmap_available():  # pragma: no cover - platform dependent
             raise OSError("memfd_create/mmap(MAP_FIXED) not available here")
-        self._fd = os.memfd_create("repro-brick-storage")
-        os.ftruncate(self._fd, nbytes)
-        self._base = _pymmap.mmap(self._fd, nbytes, _pymmap.MAP_SHARED)
+        self._fd = -1
+        self._base = None
+        self._buf = None
+        VMEM_FAULTS.check("memfd_create")
+        fd = os.memfd_create("repro-brick-storage")
+        try:
+            os.ftruncate(fd, nbytes)
+            VMEM_FAULTS.check("arena_mmap")
+            self._base = _pymmap.mmap(fd, nbytes, _pymmap.MAP_SHARED)
+        except BaseException:
+            # Don't leak the memfd when sizing or the base mapping fails:
+            # nothing references it yet, so close it here.
+            os.close(fd)
+            raise
+        self._fd = fd
         self._buf = np.frombuffer(memoryview(self._base), dtype=np.uint8)
         self._views: List[RealStitchedView] = []
 
@@ -154,28 +167,38 @@ class RealStitchedView(StitchedViewBase):
         libc = _LIBC
         total = self.nbytes
         # Reserve a contiguous virtual span, then overlay each file range.
+        VMEM_FAULTS.check("view_reserve")
         base = libc.mmap(
             None, total, _PROT_NONE, _MAP_PRIVATE | _MAP_ANONYMOUS, -1, 0
         )
         if base in (None, _MAP_FAILED):  # pragma: no cover - OOM only
             raise OSError(ctypes.get_errno(), "mmap reservation failed")
         self._base_addr = base
-        pos = 0
-        for off, length in chunks:
-            addr = libc.mmap(
-                base + pos,
-                length,
-                _PROT_READ | _PROT_WRITE,
-                _MAP_SHARED | _MAP_FIXED,
-                arena.fd,
-                off,
-            )
-            if addr != base + pos:  # pragma: no cover - kernel failure only
-                libc.munmap(base, total)
-                raise OSError(ctypes.get_errno(), "mmap MAP_FIXED failed")
-            pos += length
-        ctype_buf = (ctypes.c_byte * total).from_address(base)
-        self._array = np.frombuffer(ctype_buf, dtype=np.uint8)
+        # A mid-stitch failure must not leak the reserved span (or the
+        # file pages already overlaid onto it): one munmap of the whole
+        # reservation unmaps every chunk mapped so far in a single call.
+        try:
+            pos = 0
+            for off, length in chunks:
+                VMEM_FAULTS.check("view_map_chunk")
+                addr = libc.mmap(
+                    base + pos,
+                    length,
+                    _PROT_READ | _PROT_WRITE,
+                    _MAP_SHARED | _MAP_FIXED,
+                    arena.fd,
+                    off,
+                )
+                if addr != base + pos:  # pragma: no cover - kernel failure
+                    raise OSError(ctypes.get_errno(), "mmap MAP_FIXED failed")
+                pos += length
+            ctype_buf = (ctypes.c_byte * total).from_address(base)
+            self._array = np.frombuffer(ctype_buf, dtype=np.uint8)
+        except BaseException:
+            self.closed = True
+            self._array = None
+            libc.munmap(base, total)
+            raise
 
     @property
     def zero_copy(self) -> bool:

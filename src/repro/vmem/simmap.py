@@ -19,6 +19,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro.faults.runtime import VMEM_FAULTS
 from repro.vmem.arena import Arena
 from repro.vmem.view import StitchedViewBase
 
@@ -67,6 +68,9 @@ class SimStitchedView(StitchedViewBase):
         super().__init__(chunks)
         self._arena = arena
         self.closed = False
+        # Same armable failure site as the real mapping path, so the
+        # degradation machinery behaves identically over both arenas.
+        VMEM_FAULTS.check("view_map_chunk")
         page = arena.page_size
         table = []
         for off, length in chunks:

@@ -1,0 +1,123 @@
+"""Chaos soak: classification, determinism, and the pass/fail contract."""
+
+import numpy as np
+import pytest
+
+from repro.core.driver import run_executed
+from repro.core.problem import StencilProblem
+from repro.faults import FaultPlan, InjectedCrashError
+from repro.faults.chaos import (
+    PRESETS,
+    ChaosConfig,
+    SoakReport,
+    TrialResult,
+    run_soak,
+)
+from repro.stencil.reference import apply_periodic_reference
+from repro.stencil.spec import SEVEN_POINT
+
+
+def _problem():
+    return StencilProblem(
+        global_extent=(32, 32, 32),
+        rank_dims=(2, 2, 2),
+        stencil=SEVEN_POINT,
+        brick_dim=(8, 8, 8),
+        ghost=8,
+    )
+
+
+class TestFaultedRuns:
+    def test_wire_faults_heal_to_exact_answer(self):
+        problem = _problem()
+        steps = 2
+        plan = FaultPlan(seed=3, drop=0.04, corrupt=0.04, duplicate=0.04)
+        run = run_executed(problem, "memmap", timesteps=steps, seed=0,
+                           fault_plan=plan, fabric_timeout=10.0)
+        reference = apply_periodic_reference(
+            problem.initial_global(0), SEVEN_POINT, steps
+        )
+        np.testing.assert_array_equal(run.global_result, reference)
+        events = run.faults["events"]
+        assert any(k.startswith("injected_") for k in events)
+        # Every injected drop/corrupt produced a retransmit + healed retry.
+        assert events.get("healed", 0) >= 1
+
+    def test_same_seed_same_schedule_and_state(self):
+        problem = _problem()
+        plan = FaultPlan(seed=5, drop=0.03, corrupt=0.03)
+        runs = [
+            run_executed(problem, "layout", timesteps=2, seed=0,
+                         fault_plan=plan, fabric_timeout=10.0)
+            for _ in range(2)
+        ]
+        assert runs[0].faults["schedule_digest"] == runs[1].faults["schedule_digest"]
+        assert runs[0].faults["events"] == runs[1].faults["events"]
+        np.testing.assert_array_equal(
+            runs[0].global_result, runs[1].global_result
+        )
+
+    def test_scheduled_crash_surfaces_as_root_cause(self):
+        problem = _problem()
+        plan = FaultPlan(seed=1, crashes=((3, 1),))
+        with pytest.raises(RuntimeError) as info:
+            run_executed(problem, "layout", timesteps=3, seed=0,
+                         fault_plan=plan, fabric_timeout=5.0)
+        chain, node = [], info.value
+        while node is not None:
+            chain.append(node)
+            node = node.__cause__ or node.__context__
+        assert any(isinstance(n, InjectedCrashError) for n in chain)
+
+
+class TestSoak:
+    def test_quick_soak_passes(self):
+        # One trial per preset, determinism recheck off to keep this fast;
+        # the full gate (rechecks, 10 trials, seed matrix) runs in CI.
+        config = ChaosConfig(trials=7, seed=0, steps=2, timeout_s=10.0,
+                             check_determinism=False)
+        report = run_soak(config)
+        assert len(report.trials) == 7
+        assert report.passed, report.render()
+        assert report.silent == 0 and report.unexpected == 0
+        outcomes = {t.preset: t.outcome for t in report.trials}
+        assert outcomes["crash"] == "detected"
+        for preset in ("corrupt", "drop", "mixed", "duplicate", "degrade"):
+            assert outcomes[preset] == "healed_exact", report.render()
+
+    def test_degrade_trial_demotes(self):
+        config = ChaosConfig(trials=7, seed=0, steps=2, timeout_s=10.0,
+                             check_determinism=False)
+        report = run_soak(config)
+        degrade = [t for t in report.trials if t.preset == "degrade"]
+        assert degrade and degrade[0].demotions > 0
+        assert degrade[0].final_method in ("basic", "brickpack")
+
+    def test_presets_cover_config_order(self):
+        assert set(ChaosConfig().presets) == set(PRESETS)
+
+    def test_report_rendering_and_literal(self):
+        config = ChaosConfig(trials=2)
+        report = SoakReport(
+            config=config,
+            trials=[
+                TrialResult(index=0, preset="corrupt", method="layout",
+                            seed=0, outcome="healed_exact",
+                            events={"injected_corrupt": 2}),
+                TrialResult(index=1, preset="drop", method="memmap",
+                            seed=1, outcome="silent_corruption"),
+            ],
+        )
+        assert not report.passed
+        text = report.render()
+        assert "FAIL" in text and "silent" in text
+        doc = report.to_literal()
+        assert doc["outcomes"] == {"healed_exact": 1, "silent_corruption": 1}
+        import json
+
+        json.dumps(doc)
+
+    def test_quick_config(self):
+        quick = ChaosConfig.quick(trials=3, seed=9)
+        assert quick.trials == 3 and quick.seed == 9
+        assert quick.steps < ChaosConfig().steps

@@ -86,6 +86,43 @@ class TestSearchLayout:
         assert main(["search-layout", "1", "--exhaustive"]) == 0
 
 
+class TestChaos:
+    def test_quick_soak_passes(self, capsys):
+        # One trial per preset, no determinism recheck: the fast gate.
+        assert main(
+            ["chaos", "--trials", "7", "--quick", "--no-recheck"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "chaos soak: 7 trials" in out
+        assert "PASS" in out
+        assert "silent" not in out.split("PASS")[1]
+
+    def test_json_report(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "chaos.json"
+        assert main(
+            ["chaos", "--trials", "2", "--quick", "--no-recheck",
+             "--json", str(path)]
+        ) == 0
+        data = json.loads(path.read_text())
+        assert data["trials"] == 2
+        assert data["passed"] is True
+        assert len(data["per_trial"]) == 2
+        assert data["per_trial"][0]["preset"] == "corrupt"
+
+    def test_seed_changes_fault_events(self, capsys):
+        def events_for(seed):
+            assert main(
+                ["chaos", "--trials", "1", "--quick", "--no-recheck",
+                 "--seed", str(seed)]
+            ) == 0
+            return capsys.readouterr().out.splitlines()[2]
+
+        # Same preset/method row, different injected schedule per seed.
+        assert events_for(1) != events_for(2)
+
+
 class TestValidate:
     @pytest.mark.slow
     def test_all_methods_ok(self, capsys):

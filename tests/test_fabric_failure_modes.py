@@ -1,10 +1,11 @@
-"""Fabric failure modes: deadlocks, aborts, error cascades."""
+"""Fabric failure modes: deadlocks, aborts, error cascades, timeouts."""
 
 import numpy as np
 import pytest
 
 import repro.simmpi.fabric as fabric_mod
 from repro.simmpi import SimFabric, run_spmd
+from repro.simmpi.collectives import allreduce, barrier_all, broadcast
 from repro.simmpi.fabric import AbortedError, DeadlockError
 
 
@@ -77,6 +78,130 @@ class TestAbortCascades:
         fab.abort()
         with pytest.raises(AbortedError):
             fab.complete_recv(0, 1, 0, np.empty(1))
+
+
+class TestTimeoutConfiguration:
+    def test_constructor_argument(self):
+        assert SimFabric(2, timeout=3.5).timeout == 3.5
+
+    def test_module_default_when_unset(self):
+        assert SimFabric(2).timeout == fabric_mod._DEADLOCK_TIMEOUT
+
+    def test_monkeypatched_module_default_still_works(self, fast_timeout):
+        # The legacy override path used throughout this file: a fabric
+        # without an explicit timeout follows the module global live.
+        assert SimFabric(2).timeout == 0.5
+
+    def test_environment_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FABRIC_TIMEOUT", "2.25")
+        assert SimFabric(2).timeout == 2.25
+        # Explicit argument wins over the environment.
+        assert SimFabric(2, timeout=1.0).timeout == 1.0
+
+    def test_bad_environment_value_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FABRIC_TIMEOUT", "soon")
+        with pytest.raises(ValueError, match="REPRO_FABRIC_TIMEOUT"):
+            SimFabric(2)
+
+    def test_set_timeout_validation(self):
+        fab = SimFabric(2, timeout=5.0)
+        fab.set_timeout(1.5)
+        assert fab.timeout == 1.5
+        fab.set_timeout(None)  # back to the module default
+        assert fab.timeout == fabric_mod._DEADLOCK_TIMEOUT
+        with pytest.raises(ValueError, match="positive"):
+            fab.set_timeout(0.0)
+        with pytest.raises(ValueError, match="positive"):
+            SimFabric(2, timeout=-1.0)
+
+    def test_run_spmd_timeout_governs_deadlock(self):
+        def fn(comm):
+            if comm.rank == 1:
+                comm.Recv(np.empty(1), 0, tag=9)  # never sent
+
+        with pytest.raises(RuntimeError, match="waited 0.4"):
+            run_spmd(2, fn, timeout=0.4)
+
+    def test_run_spmd_timeout_overrides_supplied_fabric(self):
+        fab = SimFabric(2, timeout=60.0)
+
+        def fn(comm):
+            pass
+
+        run_spmd(2, fn, fabric=fab, timeout=0.7)
+        assert fab.timeout == 0.7
+
+
+class TestCollectiveAbortPropagation:
+    """Satellite (c): a crash inside a collective must release the peers
+    blocked in the same collective, with the crash as the reported root
+    cause -- not a bare deadlock or barrier timeout."""
+
+    def test_crash_inside_barrier_releases_peers(self, fast_timeout):
+        def fn(comm):
+            if comm.rank == 0:
+                raise RuntimeError("rank 0 died before the barrier")
+            barrier_all(comm)  # fabric-level barrier (point-to-point)
+
+        with pytest.raises(RuntimeError, match="rank 0 died") as info:
+            run_spmd(4, fn)
+        assert isinstance(info.value.__cause__, RuntimeError)
+
+    def test_crash_inside_allreduce_releases_peers(self, fast_timeout):
+        def fn(comm):
+            if comm.rank == 2:
+                raise ValueError("rank 2 died mid-reduction")
+            return allreduce(comm, np.asarray(float(comm.rank)), np.maximum)
+
+        with pytest.raises(RuntimeError, match="rank 2.*died mid-reduction"):
+            run_spmd(4, fn)
+
+    def test_crash_inside_broadcast_releases_peers(self, fast_timeout):
+        def fn(comm):
+            if comm.rank == 0:
+                raise RuntimeError("root died before broadcasting")
+            return broadcast(comm, np.zeros(4))
+
+        with pytest.raises(RuntimeError, match="root died"):
+            run_spmd(4, fn)
+
+    def test_peers_see_aborted_not_deadlock(self, fast_timeout):
+        """The fallout on surviving ranks is AbortedError (fail-fast),
+        which the launcher demotes in favor of the root cause."""
+        seen = {}
+
+        def fn(comm):
+            if comm.rank == 0:
+                raise RuntimeError("boom")
+            try:
+                allreduce(comm, np.asarray(1.0), np.add)
+            except BaseException as exc:  # noqa: BLE001 - recorded for assert
+                seen[comm.rank] = exc
+                raise
+
+        with pytest.raises(RuntimeError, match="boom"):
+            run_spmd(3, fn)
+        assert seen  # at least one peer was actually blocked
+        for exc in seen.values():
+            assert isinstance(exc, AbortedError)
+
+    def test_injected_crash_root_cause_through_collectives(
+        self, fast_timeout, small_problem
+    ):
+        """End-to-end: a scheduled mid-run crash during a degrade-voting
+        (collective-using) run surfaces InjectedCrashError as the cause."""
+        from repro.core.driver import run_executed
+        from repro.faults import FaultPlan, InjectedCrashError
+
+        plan = FaultPlan(seed=1, crashes=((2, 1),), degrade=((0, 1),))
+        with pytest.raises(RuntimeError) as info:
+            run_executed(small_problem, "memmap", timesteps=2, seed=0,
+                         fault_plan=plan)
+        chain, node = [], info.value
+        while node is not None:
+            chain.append(node)
+            node = node.__cause__ or node.__context__
+        assert any(isinstance(n, InjectedCrashError) for n in chain)
 
 
 class TestPendingAccounting:
