@@ -8,8 +8,9 @@ execution plans, same configuration as
 executed run, same configuration as
 :data:`repro.bench.tracebench.DEFAULT_TRACE_CONFIG`) and
 ``BENCH_chaos.json`` (seeded fault-injection soak; all keys are
-deterministic counts, compared exactly) -- and walks every baseline
-key, comparing by key shape:
+deterministic counts, compared exactly) and ``BENCH_ckpt.json``
+(checkpoint snapshot bytes -- deterministic, exact -- plus save/restore
+wall-clock) -- and walks every baseline key, comparing by key shape:
 
 * absolute timings (leaf key or any ancestor key ending ``_s``): lower is
   better, fresh may exceed baseline by at most ``--tolerance``; dropped
@@ -47,7 +48,7 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 
 #: baseline file stem -> measurement function name (resolved lazily so
 #: ``--fresh`` diffs need no importable repro package at all)
-SUITES = ("BENCH_plan", "BENCH_trace", "BENCH_chaos")
+SUITES = ("BENCH_plan", "BENCH_trace", "BENCH_chaos", "BENCH_ckpt")
 
 
 def _ensure_repro_importable() -> None:
@@ -212,10 +213,25 @@ def measure_chaos(quick: bool = False) -> Dict[str, Any]:
     }
 
 
+def measure_ckpt(quick: bool = False) -> Dict[str, Any]:
+    """Re-measure ``BENCH_ckpt.json``: checkpoint bytes and timings.
+
+    Snapshot byte counts are content-addressed and the workloads are
+    seeded, so every non-``_s`` key is deterministic and exact-compared;
+    in particular the incremental-vs-full byte reduction on the
+    surface-only-change workload is a gated behaviour, not a timing.
+    """
+    _ensure_repro_importable()
+    from repro.ckpt.bench import measure_ckpt_stats
+
+    return measure_ckpt_stats(quick=quick)
+
+
 MEASURERS: Dict[str, Callable[[bool], Dict[str, Any]]] = {
     "BENCH_plan": measure_plan,
     "BENCH_trace": measure_trace,
     "BENCH_chaos": measure_chaos,
+    "BENCH_ckpt": measure_ckpt,
 }
 
 

@@ -129,6 +129,29 @@ class BrickStorage:
             start_slot * self.brick_elems : (start_slot + nslots) * self.brick_elems
         ]
 
+    def slot_bytes(self, start_slot: int, nslots: int) -> np.ndarray:
+        """Zero-copy ``uint8`` view of a slot range's raw bytes.
+
+        Routed through the arena when there is one (the checkpoint
+        writer snapshots arena content directly); view-backed storage
+        falls back to its element view.
+        """
+        off, length = self.slot_range_bytes(start_slot, nslots)
+        if self.arena is not None:
+            return self.arena.read_bytes(off, length)
+        return self.slot_view(start_slot, nslots).view(np.uint8)
+
+    def load_slot_bytes(self, start_slot: int, nslots: int, data) -> None:
+        """Overwrite a slot range with raw bytes (checkpoint restore)."""
+        target = self.slot_bytes(start_slot, nslots)
+        src = np.frombuffer(data, dtype=np.uint8)
+        if src.nbytes != target.nbytes:
+            raise ValueError(
+                f"slot range ({start_slot}, {nslots}) is {target.nbytes}"
+                f" bytes; got {src.nbytes}"
+            )
+        target[:] = src
+
     def make_view(self, chunks: Sequence[Tuple[int, int]]):
         """Stitch page-aligned byte ranges into a contiguous view."""
         if self.arena is None:

@@ -22,9 +22,14 @@ Commands
     verify all of them against the reference.
 ``chaos``
     Seeded fault-injection soak: corrupt/drop/duplicate/delay wire
-    faults, scheduled rank crashes and MemMap degradation, with a
-    survival/detection report.  Exits nonzero on any silent corruption
-    or unexpected error (the CI chaos job gates on this).
+    faults, scheduled rank crashes (with and without checkpoint-based
+    restart) and MemMap degradation, with a survival/detection report.
+    Exits nonzero on any silent corruption, unexpected error or failed
+    resume (the CI chaos jobs gate on this).
+``ckpt``
+    Checkpoint store maintenance: ``ls`` epochs and their global
+    consistency, ``verify`` every chunk's CRC32 (nonzero exit on any
+    corruption), ``prune`` old epochs while keeping referenced parents.
 """
 
 from __future__ import annotations
@@ -87,10 +92,22 @@ def _cmd_run(args) -> int:
         run = run_executed(
             problem, args.method, _profile(args.machine),
             timesteps=args.steps, exchange_period=args.exchange_period,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_period=args.checkpoint_period,
+            checkpoint_mode=args.checkpoint_mode,
+            resume=args.resume,
         )
     finally:
         if tracing:
             obs.disable()
+    if args.checkpoint_dir:
+        line = (
+            f"checkpoints: {run.checkpoint_saves} epoch(s),"
+            f" {run.checkpoint_bytes} bytes -> {args.checkpoint_dir}"
+        )
+        if run.resumed_epoch >= 0:
+            line += f" (resumed from epoch {run.resumed_epoch})"
+        print(line)
     if tracing:
         out = getattr(args, "trace_out", None) or "trace.json"
         obs.write_chrome_trace(out, obs.TRACER, obs.METRICS)
@@ -241,17 +258,27 @@ def _cmd_validate(args) -> int:
 
 
 def _cmd_chaos(args) -> int:
-    from repro.faults.chaos import ChaosConfig, run_soak
+    import dataclasses
+
+    from repro.faults.chaos import PRESETS, ChaosConfig, run_soak
 
     if args.quick:
         config = ChaosConfig.quick(trials=args.trials, seed=args.seed)
     else:
         config = ChaosConfig(trials=args.trials, seed=args.seed)
     if args.no_recheck:
-        config = ChaosConfig(
-            trials=config.trials, seed=config.seed, steps=config.steps,
-            timeout_s=config.timeout_s, check_determinism=False,
-        )
+        config = dataclasses.replace(config, check_determinism=False)
+    if args.presets:
+        names = tuple(s.strip() for s in args.presets.split(",") if s.strip())
+        unknown = sorted(set(names) - set(PRESETS))
+        if unknown:
+            print(
+                f"unknown preset(s) {', '.join(unknown)};"
+                f" choose from {', '.join(sorted(PRESETS))}",
+                file=sys.stderr,
+            )
+            return 2
+        config = dataclasses.replace(config, presets=names)
     report = run_soak(config)
     print(report.render())
     if args.json:
@@ -262,6 +289,41 @@ def _cmd_chaos(args) -> int:
             fh.write("\n")
         print(f"wrote {args.json}")
     return 0 if report.passed else 1
+
+
+def _cmd_ckpt(args) -> int:
+    from repro.ckpt import CheckpointStore
+
+    store = CheckpointStore(args.dir)
+    if args.ckpt_cmd == "ls":
+        rows = store.ls_rows(nranks=args.nranks)
+        if not rows:
+            print(f"no checkpoints under {args.dir}")
+            return 0
+        print(f"{'epoch':>8} {'ranks':>5} {'mode':<10} {'bytes':>12}"
+              f" consistent")
+        for r in rows:
+            print(f"{r['epoch']:>8} {r['ranks']:>5} {r['modes']:<10}"
+                  f" {r['bytes']:>12} {'yes' if r['consistent'] else 'no'}")
+        latest = store.latest_consistent(args.nranks)
+        print(f"latest consistent epoch: "
+              f"{latest if latest >= 0 else 'none'}")
+        return 0
+    if args.ckpt_cmd == "verify":
+        rows = store.verify()
+        bad = 0
+        for r in rows:
+            ok = r["ok"]
+            bad += not ok
+            status = "OK" if ok else f"CORRUPT: {r['error']}"
+            print(f"rank {r['rank']:>4} epoch {r['epoch']:>6}"
+                  f" {r['mode'] or '?':<5} {r['data_bytes']:>12}B {status}")
+        print(f"{len(rows) - bad}/{len(rows)} snapshot(s) verified clean")
+        return 1 if bad else 0
+    removed = store.prune(keep=args.keep)
+    print(f"pruned {len(removed)} file(s), keeping the newest {args.keep}"
+          f" epoch(s) per rank (plus referenced parents)")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -295,6 +357,16 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("run", help="executed distributed run + validation")
     add_run_args(p)
     p.add_argument("--open-boundaries", action="store_true")
+    p.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                   help="write content-verified snapshots to this store")
+    p.add_argument("--checkpoint-period", type=int, default=None,
+                   help="snapshot every N steps (default 1)")
+    p.add_argument("--checkpoint-mode", choices=("full", "incr"),
+                   default="incr",
+                   help="full snapshots, or dirty-section incremental")
+    p.add_argument("--resume", action="store_true",
+                   help="restore from the latest consistent epoch in"
+                        " --checkpoint-dir before stepping")
     p.add_argument("--json", metavar="PATH",
                    help="also write the run summary as JSON")
     p.add_argument("--trace", action="store_true",
@@ -347,7 +419,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the per-trial determinism rerun")
     p.add_argument("--json", metavar="PATH",
                    help="also write the report as JSON")
+    p.add_argument("--presets", metavar="LIST", default=None,
+                   help="comma-separated preset subset to cycle"
+                        " (e.g. 'crash_restart')")
     p.set_defaults(fn=_cmd_chaos)
+
+    p = sub.add_parser("ckpt", help="checkpoint store maintenance")
+    cksub = p.add_subparsers(dest="ckpt_cmd", required=True)
+    cp = cksub.add_parser("ls", help="list epochs and global consistency")
+    cp.add_argument("dir")
+    cp.add_argument("--nranks", type=int, default=None,
+                    help="expected world size (default: rank dirs found)")
+    cp.set_defaults(fn=_cmd_ckpt)
+    cp = cksub.add_parser("verify", help="CRC-verify every snapshot chunk")
+    cp.add_argument("dir")
+    cp.set_defaults(fn=_cmd_ckpt)
+    cp = cksub.add_parser("prune", help="drop all but the newest epochs")
+    cp.add_argument("dir")
+    cp.add_argument("--keep", type=int, default=1,
+                    help="epochs to keep per rank (default 1)")
+    cp.set_defaults(fn=_cmd_ckpt)
 
     return parser
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import math
 import time
+import zlib
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -41,6 +42,16 @@ from repro.core.model import (
     _schedules,
 )
 from repro.core.problem import StencilProblem
+from repro.ckpt import (
+    CheckpointConfig,
+    CheckpointError,
+    CheckpointStore,
+    ChunkSpec,
+    RankCheckpointer,
+    negotiate_epoch,
+    problem_key,
+    storage_chunks,
+)
 from repro.faults.errors import (
     ExchangeIntegrityError,
     ExchangeTimeoutError,
@@ -60,7 +71,7 @@ from repro.hardware.profiles import MachineProfile, generic_host
 from repro.simmpi.collectives import allreduce
 from repro.simmpi.comm import SimComm
 from repro.simmpi.fabric import SimFabric
-from repro.simmpi.launcher import run_spmd
+from repro.simmpi.launcher import run_spmd, run_spmd_restartable
 from repro.stencil.brick_kernels import apply_brick_stencil
 from repro.stencil.kernels import apply_array_stencil, owned_slices
 from repro.stencil.plan import (
@@ -89,6 +100,10 @@ class ExecutedRun:
     final_method: str = ""  # exchange engine in use at the end of the run
     demotions: int = 0  # total degradation-ladder steps across all ranks
     faults: Optional[dict] = None  # injector summary (chaos runs only)
+    restarts: int = 0  # world relaunches after survivable crashes
+    resumed_epoch: int = -1  # negotiated restore epoch (-1: from scratch)
+    checkpoint_saves: int = 0  # snapshots committed by rank 0
+    checkpoint_bytes: int = 0  # snapshot bytes written across all ranks
 
 
 def _make_exchanger(
@@ -272,6 +287,53 @@ def _modelled_totals(
     return totals
 
 
+def _ckpt_meta(
+    t: int,
+    counters: dict,
+    timer: PhaseTimer,
+    ladder_level,
+    period: int,
+    adjacency_crc: int,
+    injector: Optional[FaultInjector],
+) -> dict:
+    """Everything besides the field bytes a resumed rank needs back."""
+    return {
+        "step": int(t),
+        "counters": {k: int(v) for k, v in counters.items()},
+        "measured": timer.breakdown.as_dict(),
+        "ladder_level": ladder_level,
+        "period": int(period),
+        "adjacency_crc": int(adjacency_crc),
+        "fired_crashes": injector.crashed() if injector is not None else [],
+    }
+
+
+def _ckpt_apply_meta(
+    meta: dict,
+    counters: dict,
+    timer: PhaseTimer,
+    period: int,
+    adjacency_crc: int,
+    injector: Optional[FaultInjector],
+) -> int:
+    """Re-install restored cursors; returns the step to resume from."""
+    if int(meta["period"]) != period:
+        raise CheckpointError(
+            f"snapshot was taken with exchange period {meta['period']},"
+            f" this run uses {period}"
+        )
+    if int(meta["adjacency_crc"]) != int(adjacency_crc):
+        raise CheckpointError(
+            "snapshot adjacency/layout permutation does not match the"
+            " rebuilt BrickInfo"
+        )
+    counters.update({k: int(v) for k, v in meta["counters"].items()})
+    timer.breakdown = TimeBreakdown(**meta["measured"])
+    if injector is not None:
+        injector.mark_fired(meta.get("fired_crashes") or ())
+    return int(meta["step"])
+
+
 def _rank_fn(
     comm: SimComm,
     problem: StencilProblem,
@@ -286,6 +348,7 @@ def _rank_fn(
     envelope: bool = False,
     retry: Optional[RetryPolicy] = None,
     degrade_enabled: bool = False,
+    ckpt: Optional[CheckpointConfig] = None,
 ):
     info = method_info(method)
     cart = comm.Create_cart(
@@ -322,6 +385,28 @@ def _rank_fn(
         a = np.zeros(ext_shape, dtype=problem.dtype)
         a[own_slc] = owned
         b = np.zeros_like(a)
+        arrays = [a, b]
+        start_step = 0
+        resumed_epoch = -1
+        cp = None
+        if ckpt is not None:
+            # Array methods snapshot the whole extended subdomain (ghost
+            # margins included) as one chunk; the margins make mid-cycle
+            # restores of period>1 runs self-contained.
+            key = problem_key(problem, seed, method, 1, 1, period)
+            cp = RankCheckpointer(
+                ckpt, rank, [ChunkSpec("array", 0, 1)], key, 1
+            )
+            if ckpt.resume:
+                epoch = negotiate_epoch(cart, cp.verified_epochs(), allreduce)
+                if epoch >= 0:
+                    meta = cp.restore(
+                        epoch, [("array", arrays[0].reshape(-1).view(np.uint8))]
+                    )
+                    start_step = _ckpt_apply_meta(
+                        meta, counters, timer, period, 0, injector
+                    )
+                    resumed_epoch = epoch
         exchangers = [
             _make_exchanger(info, cart, problem, profile, arr, None, page_size)
             for arr in (a, b)
@@ -337,10 +422,18 @@ def _rank_fn(
             else None
         )
         src, dst = 0, 1
-        arrays = [a, b]
-        for t in range(timesteps):
+        for t in range(start_step, timesteps):
             pos = t % period
             crash_check(t)
+            if cp is not None and ckpt.due(t, start_step):
+                # Arrays double-buffer with no section structure, so
+                # every snapshot rewrites the one chunk.
+                cp.dirty.mark_all()
+                cp.save(
+                    t,
+                    [("array", arrays[src].reshape(-1).view(np.uint8))],
+                    _ckpt_meta(t, counters, timer, None, period, 0, injector),
+                )
             with _TRACER.span("driver.step", rank=rank, step=t):
                 if pos == 0:
                     with _TRACER.span("driver.exchange", rank=rank, step=t,
@@ -395,10 +488,47 @@ def _rank_fn(
             for pos in range(period)
         ]
         storages = [sa, sb]
+        start_step = 0
+        resumed_epoch = -1
+        restore_level = 0
+        cp = None
+        adjacency_crc = 0
+        ghost_ranges: List[Tuple[int, int]] = []
+        if ckpt is not None:
+            # Section-granular snapshots of the src storage only: the
+            # ghost-expansion invariant (bricks read at cycle position
+            # pos+1 were computed at pos) means the dst buffer never
+            # contributes bytes a resumed run could read.
+            key = problem_key(
+                problem, seed, method, asn.alignment, asn.total_slots, period
+            )
+            cp = RankCheckpointer(
+                ckpt, rank, storage_chunks(asn), key, asn.total_slots
+            )
+            adjacency_crc = zlib.crc32(
+                np.ascontiguousarray(binfo.adjacency).tobytes()
+            )
+            ghost_ranges = [
+                (s.start, s.nbricks)
+                for s in asn.sections
+                if s.kind == "ghost" and s.nbricks
+            ]
+            if ckpt.resume:
+                epoch = negotiate_epoch(cart, cp.verified_epochs(), allreduce)
+                if epoch >= 0:
+                    # Restoring writes through the arena, so MemMap
+                    # stitched views built below alias the restored
+                    # bytes directly (vmem re-attach).
+                    meta = cp.restore(epoch, cp.chunk_views(storages[0]))
+                    start_step = _ckpt_apply_meta(
+                        meta, counters, timer, period, adjacency_crc, injector
+                    )
+                    restore_level = int(meta.get("ladder_level") or 0)
+                    resumed_epoch = epoch
         ladder_level = None
         if degrade_enabled and info.base == "memmap":
             exchangers, ladder_level = _build_ladder(
-                cart, 0, profile, decomp, storages, asn, page,
+                cart, restore_level, profile, decomp, storages, asn, page,
                 injector, counters, -1,
             )
         else:
@@ -408,9 +538,10 @@ def _rank_fn(
                 )
                 for st in storages
             ]
-        tmp = np.zeros(ext_shape, dtype=problem.dtype)
-        tmp[own_slc] = owned
-        extended_to_bricks(tmp, decomp, sa, asn)
+        if resumed_epoch < 0:
+            tmp = np.zeros(ext_shape, dtype=problem.dtype)
+            tmp[own_slc] = owned
+            extended_to_bricks(tmp, decomp, sa, asn)
         # Compiled execution plans: fused gather tables, persistent
         # halo/accumulator buffers and the specialized batch kernel,
         # built once per cycle position.
@@ -425,9 +556,22 @@ def _rank_fn(
             else None
         )
         src, dst = 0, 1
-        for t in range(timesteps):
+        for t in range(start_step, timesteps):
             pos = t % period
             crash_check(t)
+            if cp is not None and ckpt.due(t, start_step):
+                # Placed after the crash check (a rank never snapshots
+                # the step it dies on) and before the degradation vote
+                # (demotion events after the snapshot refire identically
+                # on replay, so they must not be double-counted).
+                cp.save(
+                    t,
+                    cp.chunk_views(storages[src]),
+                    _ckpt_meta(
+                        t, counters, timer, ladder_level, period,
+                        adjacency_crc, injector,
+                    ),
+                )
             if pos == 0 and ladder_level is not None:
                 # Degradation vote: a rank whose mapping machinery fails a
                 # live probe asks for demotion; allreduce-max keeps every
@@ -480,6 +624,11 @@ def _rank_fn(
                             "driver.wire_bytes", res.wire_bytes_sent,
                             rank=rank,
                         )
+                    if cp is not None:
+                        # Exchange rewrites every ghost section of the
+                        # current src buffer.
+                        for g_start, g_n in ghost_ranges:
+                            cp.dirty.mark_range(g_start, g_n)
                 with _TRACER.span("driver.calc", rank=rank, step=t):
                     with timer.phase("calc"):
                         if plans is not None:
@@ -489,6 +638,8 @@ def _rank_fn(
                                 spec, storages[src], storages[dst], binfo,
                                 cycle_slots[pos],
                             )
+                if cp is not None:
+                    cp.dirty.mark_slots(cycle_slots[pos])
             src, dst = dst, src
         if info.base == "memmap":
             # After a demotion the live engine may have no mappings at all.
@@ -518,6 +669,9 @@ def _rank_fn(
         "counters": counters,
         "period": period,
         "final_method": exchangers[0].method,
+        "resumed_epoch": resumed_epoch,
+        "ckpt_saves": cp.saves if cp is not None else 0,
+        "ckpt_bytes": cp.saved_bytes if cp is not None else 0,
     }
 
 
@@ -554,6 +708,11 @@ def run_executed(
     retry: Optional[RetryPolicy] = None,
     degrade: Optional[bool] = None,
     fabric_timeout: Optional[float] = None,
+    checkpoint_dir=None,
+    checkpoint_period: Optional[int] = None,
+    checkpoint_mode: str = "incr",
+    resume: bool = False,
+    max_restarts: Optional[int] = None,
 ) -> ExecutedRun:
     """Run the problem end-to-end on simulated ranks; see module docs.
 
@@ -585,6 +744,18 @@ def run_executed(
 
     *fabric_timeout*: deadlock timeout in seconds (else the
     ``REPRO_FABRIC_TIMEOUT`` environment variable, else 30 s).
+
+    Checkpoint/restart knobs (see README "Checkpoint/restart"):
+
+    *checkpoint_dir*: directory for the content-verified snapshot store;
+    enables checkpointing.  *checkpoint_period* snapshots every N steps
+    (default 1).  *checkpoint_mode* is ``"incr"`` (dirty-section
+    incremental, the default) or ``"full"``.  With a checkpoint store,
+    scheduled crashes in *fault_plan* become survivable: the world is
+    relaunched from the latest globally consistent epoch and the run
+    continues bit-exactly.  *resume* restores from an existing store
+    before the first step (cold restart).  *max_restarts* bounds the
+    relaunches (default: the number of distinct scheduled crashes).
     """
     if timesteps <= 0:
         raise ValueError("timesteps must be positive")
@@ -601,12 +772,37 @@ def run_executed(
         retry = RetryPolicy()
     if degrade is None:
         degrade = bool(fault_plan is not None and fault_plan.degrade)
-    fabric = SimFabric(problem.nranks, timeout=fabric_timeout)
-    if envelope:
-        fabric.enable_envelope(injector)
-    outs = run_spmd(
-        problem.nranks,
-        _rank_fn,
+
+    ckpt = None
+    if checkpoint_dir is not None:
+        ckpt = CheckpointConfig(
+            store=CheckpointStore(checkpoint_dir),
+            period=int(checkpoint_period if checkpoint_period is not None else 1),
+            mode=checkpoint_mode,
+            resume=bool(resume),
+        )
+    elif resume or checkpoint_period is not None:
+        raise ValueError(
+            "resume/checkpoint_period require a checkpoint_dir"
+        )
+    if ckpt is not None and injector is not None:
+        # Checkpointing turns scheduled crashes into survivable events:
+        # each fires once, then the relaunched world sails past it.
+        injector.survivable = True
+    if max_restarts is None:
+        max_restarts = (
+            len(set(fault_plan.crashes))
+            if ckpt is not None and fault_plan is not None
+            else 0
+        )
+
+    def make_fabric() -> SimFabric:
+        fab = SimFabric(problem.nranks, timeout=fabric_timeout)
+        if envelope:
+            fab.enable_envelope(injector)
+        return fab
+
+    rank_args = (
         problem,
         method,
         profile,
@@ -619,8 +815,30 @@ def run_executed(
         envelope,
         retry,
         degrade,
-        fabric=fabric,
+        ckpt,
     )
+    if ckpt is not None and max_restarts > 0:
+
+        def on_restart(n: int, cause) -> None:
+            ckpt.resume = True
+            if injector is not None:
+                injector.record("restarted", step=-1)
+            if _METRICS.enabled:
+                _METRICS.count("ckpt.restarts", 1)
+
+        outs, fabric, restarts = run_spmd_restartable(
+            problem.nranks,
+            _rank_fn,
+            *rank_args,
+            make_fabric=make_fabric,
+            max_restarts=max_restarts,
+            should_restart=lambda c: isinstance(c, InjectedCrashError),
+            on_restart=on_restart,
+        )
+    else:
+        fabric = make_fabric()
+        restarts = 0
+        outs = run_spmd(problem.nranks, _rank_fn, *rank_args, fabric=fabric)
 
     global_result = np.empty(
         tuple(reversed(problem.global_extent)), dtype=problem.dtype
@@ -661,4 +879,8 @@ def run_executed(
         final_method=outs[0]["final_method"],
         demotions=sum(out["counters"]["demotions"] for out in outs),
         faults=injector.summary() if injector is not None else None,
+        restarts=restarts,
+        resumed_epoch=outs[0]["resumed_epoch"],
+        checkpoint_saves=outs[0]["ckpt_saves"],
+        checkpoint_bytes=sum(out["ckpt_bytes"] for out in outs),
     )

@@ -19,6 +19,12 @@ the small reference problem end-to-end, and classifies the outcome:
     The run failed with something other than a detected fault (or, with
     determinism checking on, a repeated trial diverged).  Also gated to
     zero.
+``resumed_exact`` / ``resume_failed``
+    Outcomes of the ``crash_restart`` preset, which runs the scheduled
+    crash *with* a checkpoint store attached: the world must relaunch
+    from the latest consistent epoch and finish bit-identical to the
+    reference (``resumed_exact``); anything else -- no restart, a wrong
+    answer, or an exception -- is ``resume_failed`` and gated to zero.
 
 Shift is excluded from the soak: its per-axis barrier phases make a
 whole-exchange retry unsafe (peers may already sit at a later barrier),
@@ -28,6 +34,7 @@ the envelope fabric makes retries idempotent.
 
 from __future__ import annotations
 
+import tempfile
 from dataclasses import dataclass, field
 from threading import BrokenBarrierError
 from typing import Dict, List, Optional, Tuple
@@ -54,10 +61,14 @@ PRESETS: Dict[str, dict] = {
     "mixed": {"drop": 0.02, "corrupt": 0.02, "duplicate": 0.02},
     "crash": {},
     "degrade": {},
+    "crash_restart": {},
 }
 
+# crash_restart is appended last on purpose: for index < 7 the preset
+# cycle is unchanged, so committed BENCH_chaos baselines (7 trials) and
+# existing seeded soaks keep their exact event sets.
 _PRESET_ORDER = ("corrupt", "drop", "mixed", "duplicate", "degrade", "crash",
-                 "delay")
+                 "delay", "crash_restart")
 
 
 @dataclass(frozen=True)
@@ -86,6 +97,7 @@ class TrialResult:
     events: Dict[str, int] = field(default_factory=dict)
     digest: int = 0
     demotions: int = 0
+    restarts: int = 0
     final_method: str = ""
     error: str = ""
 
@@ -110,9 +122,17 @@ class SoakReport:
         return self.counts().get("unexpected_error", 0)
 
     @property
+    def resume_failed(self) -> int:
+        return self.counts().get("resume_failed", 0)
+
+    @property
     def passed(self) -> bool:
-        """The chaos contract: every fault detected or healed, none silent."""
-        return self.silent == 0 and self.unexpected == 0
+        """The chaos contract: every fault detected or healed, none
+        silent, and every survivable crash resumed bit-exactly."""
+        return (
+            self.silent == 0 and self.unexpected == 0
+            and self.resume_failed == 0
+        )
 
     def to_literal(self) -> dict:
         return {
@@ -143,7 +163,8 @@ class SoakReport:
             "PASS: every injected fault was detected or healed"
             if self.passed
             else f"FAIL: {self.silent} silent corruption(s),"
-                 f" {self.unexpected} unexpected error(s)"
+                 f" {self.unexpected} unexpected error(s),"
+                 f" {self.resume_failed} failed resume(s)"
         )
         return "\n".join(lines)
 
@@ -168,7 +189,7 @@ def _trial_plan(config: ChaosConfig, index: int, nranks: int,
                 preset: str) -> FaultPlan:
     seed = config.seed * 1000 + index
     kwargs = dict(PRESETS[preset])
-    if preset == "crash":
+    if preset in ("crash", "crash_restart"):
         # Crash a deterministic non-root rank partway through the run.
         kwargs["crashes"] = ((1 + (seed % (nranks - 1)), config.steps // 2),)
     elif preset == "degrade":
@@ -192,6 +213,16 @@ def _run_trial(problem, reference, config: ChaosConfig, index: int):
     )
 
     def attempt():
+        if preset == "crash_restart":
+            # A fresh store per attempt: the determinism rerun must
+            # replay the whole crash-and-resume sequence from scratch,
+            # not warm-start from the first attempt's snapshots.
+            with tempfile.TemporaryDirectory(prefix="repro-ckpt-") as d:
+                return run_executed(
+                    problem, method, timesteps=config.steps, seed=0,
+                    fault_plan=plan, fabric_timeout=config.timeout_s,
+                    checkpoint_dir=d, checkpoint_period=1,
+                )
         return run_executed(
             problem, method, timesteps=config.steps, seed=0,
             fault_plan=plan, fabric_timeout=config.timeout_s,
@@ -200,6 +231,12 @@ def _run_trial(problem, reference, config: ChaosConfig, index: int):
     try:
         run = attempt()
     except BaseException as exc:  # noqa: BLE001 - classified, not swallowed
+        if preset == "crash_restart":
+            # With a checkpoint store attached the scheduled crash is
+            # supposed to be survived; any escape is a failed resume.
+            result.outcome = "resume_failed"
+            result.error = f"{type(exc).__name__}: {exc}"
+            return result
         result.outcome = (
             "detected" if _root_is_detected(exc) else "unexpected_error"
         )
@@ -221,11 +258,22 @@ def _run_trial(problem, reference, config: ChaosConfig, index: int):
     result.events = dict(run.faults["events"]) if run.faults else {}
     result.digest = run.faults["schedule_digest"] if run.faults else 0
     result.demotions = run.demotions
+    result.restarts = run.restarts
     result.final_method = run.final_method
-    if not np.array_equal(run.global_result, reference):
-        result.outcome = "silent_corruption"
+    if preset == "crash_restart" and run.restarts < 1:
+        result.outcome = "resume_failed"
+        result.error = "scheduled crash did not trigger a restart"
         return result
-    result.outcome = "healed_exact"
+    if not np.array_equal(run.global_result, reference):
+        result.outcome = (
+            "resume_failed"
+            if preset == "crash_restart"
+            else "silent_corruption"
+        )
+        return result
+    result.outcome = (
+        "resumed_exact" if preset == "crash_restart" else "healed_exact"
+    )
     if config.check_determinism:
         rerun = attempt()
         if (

@@ -118,6 +118,10 @@ class FaultInjector:
         self._lock = threading.Lock()
         self._events: List[FaultEvent] = []
         self._crashed: set = set()
+        #: When True (set by the checkpoint/restart driver) a scheduled
+        #: crash fires exactly once: the relaunched world sees the same
+        #: ``crash_due`` query again and survives it.
+        self.survivable = False
 
     # -- recording -------------------------------------------------------
     def record(self, kind: str, src: int = -1, dst: int = -1, tag: int = -1,
@@ -158,7 +162,18 @@ class FaultInjector:
             self._crashed.add((rank, step))
         if first:
             self.record("injected_crash", src=rank, step=step)
-        return True
+        return first if self.survivable else True
+
+    def crashed(self) -> List[Tuple[int, int]]:
+        """Crash sites that already fired, as sorted ``(rank, step)``."""
+        with self._lock:
+            return sorted(self._crashed)
+
+    def mark_fired(self, crashes) -> None:
+        """Mark crash sites as already fired (checkpoint restore: a cold
+        ``--resume`` must not re-trigger crashes the snapshot outlived)."""
+        with self._lock:
+            self._crashed.update((int(r), int(s)) for r, s in crashes)
 
     def degrade_due(self, rank: int, step: int) -> bool:
         return self.plan.degrade_due(rank, step)

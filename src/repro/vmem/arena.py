@@ -71,6 +71,31 @@ class Arena(abc.ABC):
             raise ValueError("a view needs at least one chunk")
         return out
 
+    def read_bytes(self, offset: int, nbytes: int) -> np.ndarray:
+        """Zero-copy ``uint8`` view of an arbitrary byte range.
+
+        Unlike :meth:`make_view` this needs no page alignment -- it is
+        the checkpoint path's window onto the arena content, valid for
+        every concrete arena because all of them expose ``buffer``.
+        """
+        offset, nbytes = int(offset), int(nbytes)
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.nbytes:
+            raise ValueError(
+                f"byte range ({offset}, {nbytes}) outside arena of"
+                f" {self.nbytes} bytes"
+            )
+        return self.buffer[offset : offset + nbytes]
+
+    def write_bytes(self, offset: int, data) -> None:
+        """Re-attach bytes into the arena at *offset* (checkpoint restore).
+
+        Writing through ``buffer`` means mapping-capable arenas update
+        the *backing* pages: stitched views built before or after the
+        write alias the restored content with no further copies.
+        """
+        view = np.frombuffer(data, dtype=np.uint8)
+        self.read_bytes(offset, view.nbytes)[:] = view
+
     def close(self) -> None:  # pragma: no cover - trivial default
         """Release resources; the default has none."""
 

@@ -1,0 +1,67 @@
+"""Direct unit tests for the strong-scaling advisor library core."""
+
+import pytest
+
+from repro.bench.advisor import MACHINES, advise, render_advice
+from repro.bench.harness import dims_create
+
+
+class TestAdviseInputs:
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(ValueError, match="unknown machine"):
+            advise(512, machine="laptop")
+
+    def test_unknown_stencil_rejected(self):
+        with pytest.raises(ValueError, match="unknown stencil"):
+            advise(512, stencil="27pt")
+
+
+class TestAdviseSweep:
+    def test_sweep_shape_and_baseline_efficiency(self):
+        rows = advise(512, machine="theta", stencil="7pt", max_nodes=64)
+        assert [r.nodes for r in rows] == [8, 16, 32, 64]
+        # Efficiency is normalised to the first (8-node) row.
+        assert rows[0].efficiency == pytest.approx(1.0)
+        for row in rows:
+            assert row.best in row.timestep_s
+            assert row.timestep_s[row.best] == min(row.timestep_s.values())
+            assert all(t > 0 for t in row.timestep_s.values())
+
+    def test_subdomain_matches_decomposition(self):
+        rows = advise(512, machine="theta", max_nodes=8)
+        dims = dims_create(8, 3)
+        assert rows[0].subdomain == tuple(512 // d for d in dims)
+
+    def test_min_subdomain_truncates_sweep(self):
+        wide = advise(512, machine="theta", max_nodes=1024, min_subdomain=16)
+        narrow = advise(512, machine="theta", max_nodes=1024, min_subdomain=128)
+        assert len(narrow) < len(wide)
+        assert all(min(r.subdomain) >= 128 for r in narrow)
+
+    def test_indivisible_domain_gives_no_rows(self):
+        # 8 nodes decompose 3-d as 2x2x2; a prime domain is never
+        # divisible, so the sweep stops before its first row.
+        assert advise(509, machine="theta") == []
+
+    def test_summit_uses_six_ranks_per_node(self):
+        assert MACHINES["summit"][2] == 6
+        rows = advise(768, machine="summit", max_nodes=8, min_subdomain=8)
+        assert rows, "768^3 over 48 ranks should be feasible"
+        dims = dims_create(8 * 6, 3)
+        assert rows[0].subdomain == tuple(768 // d for d in dims)
+        # Summit sweeps the UM/CA method family, not the host one.
+        assert set(rows[0].timestep_s) <= set(MACHINES["summit"][1])
+
+
+class TestRenderAdvice:
+    def test_empty_rows_render_message(self):
+        out = render_advice([], 509, "theta", "7pt")
+        assert out == "no feasible configuration in the requested range\n"
+
+    def test_table_includes_nodes_and_best(self):
+        rows = advise(512, machine="theta", max_nodes=16)
+        out = render_advice(rows, 512, "theta", "7pt")
+        assert "512^3" in out and "theta" in out
+        for row in rows:
+            assert str(row.nodes) in out
+            assert row.best in out

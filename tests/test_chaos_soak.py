@@ -121,3 +121,45 @@ class TestSoak:
         quick = ChaosConfig.quick(trials=3, seed=9)
         assert quick.trials == 3 and quick.seed == 9
         assert quick.steps < ChaosConfig().steps
+
+
+class TestCrashRestart:
+    def test_crash_restart_trials_resume_exactly(self):
+        import dataclasses
+
+        config = dataclasses.replace(
+            ChaosConfig.quick(trials=2, seed=0),
+            check_determinism=False,
+            presets=("crash_restart",),
+        )
+        report = run_soak(config)
+        assert report.passed, report.render()
+        for t in report.trials:
+            assert t.preset == "crash_restart"
+            assert t.outcome == "resumed_exact", report.render()
+            assert t.restarts >= 1
+            assert t.events.get("injected_crash", 0) >= 1
+            assert t.events.get("restarted", 0) >= 1
+
+    def test_resume_failed_gates_the_soak(self):
+        report = SoakReport(
+            config=ChaosConfig(trials=1),
+            trials=[
+                TrialResult(index=0, preset="crash_restart", method="layout",
+                            seed=0, outcome="resume_failed",
+                            error="scheduled crash did not trigger a restart"),
+            ],
+        )
+        assert report.resume_failed == 1
+        assert not report.passed
+        assert "1 failed resume(s)" in report.render()
+        assert report.to_literal()["outcomes"] == {"resume_failed": 1}
+
+    def test_crash_restart_last_in_preset_order(self):
+        # The committed chaos baselines were generated with 7-trial
+        # soaks; crash_restart must extend the cycle, not reshuffle it.
+        assert ChaosConfig().presets[-1] == "crash_restart"
+        assert ChaosConfig().presets[:7] == (
+            "corrupt", "drop", "mixed", "duplicate", "degrade", "crash",
+            "delay",
+        )

@@ -1,0 +1,250 @@
+"""Checkpoint store unit tests: commits, incrementals, corruption, prune."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.ckpt import (
+    CheckpointCorruptionError,
+    CheckpointError,
+    CheckpointStore,
+    negotiate_epoch,
+)
+from repro.simmpi.collectives import allreduce
+from repro.simmpi.launcher import run_spmd
+
+
+def _chunks(seed, sizes):
+    rng = np.random.default_rng(seed)
+    return [
+        (name, rng.integers(0, 256, size=n, dtype=np.uint8))
+        for name, n in sizes.items()
+    ]
+
+
+SIZES = {"interior": 512, "surface:a": 128, "surface:b": 128, "ghost:c": 64}
+
+
+class TestCommit:
+    def test_full_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        chunks = _chunks(0, SIZES)
+        man = store.save(0, 0, chunks, meta={"step": 0}, problem_key="k")
+        assert man["mode"] == "full"
+        assert man["data_bytes"] == sum(SIZES.values())
+        state = store.read_state(0, store.manifest(0, 0))
+        for name, buf in chunks:
+            assert state[name] == buf.tobytes()
+        assert store.manifest(0, 0)["meta"] == {"step": 0}
+
+    def test_commit_leaves_no_temp_files(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(0, 0, _chunks(0, SIZES))
+        assert not list(tmp_path.rglob("*.tmp"))
+
+    def test_manifest_is_the_commit_point(self, tmp_path):
+        # Data without a manifest (a simulated mid-commit crash) is
+        # invisible: the epoch is not listed and not negotiable.
+        store = CheckpointStore(tmp_path)
+        store.save(0, 0, _chunks(0, SIZES))
+        store.data_path(0, 1).parent.mkdir(exist_ok=True)
+        store.data_path(0, 1).write_bytes(b"half-written")
+        assert store.epochs(0) == [0]
+        assert store.verified_epochs(0) == [0]
+
+    def test_meta_jsonified(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        meta = {"step": np.int64(3), "vals": (np.float64(1.5), 2)}
+        store.save(0, 0, _chunks(0, SIZES), meta=meta)
+        doc = json.loads(store.manifest_path(0, 0).read_text())
+        assert doc["meta"] == {"step": 3, "vals": [1.5, 2]}
+
+    def test_bad_inputs(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(CheckpointError, match="mode"):
+            store.save(0, 0, [], mode="weird")
+        with pytest.raises(CheckpointError, match="epoch"):
+            store.save(0, -1, [])
+        with pytest.raises(CheckpointError, match="no manifest"):
+            store.manifest(0, 42)
+
+
+class TestIncremental:
+    def test_surface_only_change_writes_strictly_fewer_bytes(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        chunks = _chunks(0, SIZES)
+        parent = store.save(0, 0, chunks, problem_key="k")
+        # Workload where only surface bricks change between periods.
+        changed = []
+        for name, buf in chunks:
+            buf = buf.copy()
+            if name.startswith("surface:"):
+                buf[0] ^= 0xFF
+            changed.append((name, buf))
+        man = store.save(
+            0, 1, changed, mode="incr", problem_key="k", parent=parent,
+            dirty_names=[n for n, _ in changed if n.startswith("surface:")],
+        )
+        assert man["mode"] == "incr"
+        full_bytes = parent["data_bytes"]
+        assert 0 < man["data_bytes"] < full_bytes
+        assert man["data_bytes"] == SIZES["surface:a"] + SIZES["surface:b"]
+        # Unchanged chunks are references to the epoch that wrote them.
+        by_name = {c["name"]: c for c in man["chunks"]}
+        assert by_name["interior"]["epoch"] == 0
+        assert by_name["ghost:c"]["epoch"] == 0
+        assert by_name["surface:a"]["epoch"] == 1
+        # The reconstructed state follows references transparently.
+        state = store.read_state(0, man)
+        for name, buf in changed:
+            assert state[name] == buf.tobytes()
+
+    def test_crc_dedup_inside_dirty_set(self, tmp_path):
+        # A chunk marked dirty whose bytes did not actually change is
+        # still deduplicated by CRC comparison against the parent.
+        store = CheckpointStore(tmp_path)
+        chunks = _chunks(0, SIZES)
+        parent = store.save(0, 0, chunks, problem_key="k")
+        man = store.save(
+            0, 1, chunks, mode="incr", problem_key="k", parent=parent,
+            dirty_names=[n for n, _ in chunks],
+        )
+        assert man["data_bytes"] == 0
+        assert all(c["epoch"] == 0 for c in man["chunks"])
+
+    def test_parentless_incremental_degrades_to_full(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        man = store.save(0, 0, _chunks(0, SIZES), mode="incr")
+        assert man["mode"] == "full"
+
+    def test_incremental_rejects_foreign_parent(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        parent = store.save(0, 0, _chunks(0, SIZES), problem_key="run-a")
+        with pytest.raises(CheckpointError, match="different run"):
+            store.save(
+                0, 1, _chunks(1, SIZES), mode="incr", problem_key="run-b",
+                parent=parent,
+            )
+
+
+class TestCorruption:
+    def test_single_flipped_byte_detected_in_any_chunk(self, tmp_path):
+        offsets = {}
+        store = CheckpointStore(tmp_path)
+        man = store.save(0, 0, _chunks(0, SIZES), problem_key="k")
+        for entry in man["chunks"]:
+            # Flip one byte in the middle of this chunk, check detection,
+            # then restore the original byte for the next round.
+            offsets[entry["name"]] = entry["offset"] + entry["nbytes"] // 2
+        path = store.data_path(0, 0)
+        pristine = path.read_bytes()
+        for name, off in offsets.items():
+            blob = bytearray(pristine)
+            blob[off] ^= 0x01
+            path.write_bytes(bytes(blob))
+            with pytest.raises(CheckpointCorruptionError, match="CRC32"):
+                store.read_state(0, store.manifest(0, 0))
+            rows = store.verify()
+            assert [r["ok"] for r in rows] == [False], name
+            assert store.verified_epochs(0) == []
+        path.write_bytes(pristine)
+        assert store.verified_epochs(0) == [0]
+
+    def test_truncated_data_detected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(0, 0, _chunks(0, SIZES))
+        path = store.data_path(0, 0)
+        path.write_bytes(path.read_bytes()[:-10])
+        with pytest.raises(CheckpointCorruptionError, match="truncated"):
+            store.read_state(0, store.manifest(0, 0))
+
+    def test_missing_referenced_data_file_detected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        parent = store.save(0, 0, _chunks(0, SIZES), problem_key="k")
+        man = store.save(
+            0, 1, _chunks(0, SIZES), mode="incr", problem_key="k",
+            parent=parent, dirty_names=[],
+        )
+        store.data_path(0, 0).unlink()
+        with pytest.raises(CheckpointCorruptionError, match="missing data"):
+            store.read_state(0, man)
+
+    def test_manifest_identity_mismatch_detected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(0, 0, _chunks(0, SIZES))
+        doc = json.loads(store.manifest_path(0, 0).read_text())
+        doc["rank"] = 5
+        store.manifest_path(0, 0).write_text(json.dumps(doc))
+        with pytest.raises(CheckpointCorruptionError, match="identifies"):
+            store.manifest(0, 0)
+
+
+class TestMaintenance:
+    def test_prune_keeps_reference_closure(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        chunks = _chunks(0, SIZES)
+        man = store.save(0, 0, chunks, problem_key="k")
+        for epoch in (1, 2, 3):
+            man = store.save(
+                0, epoch, chunks, mode="incr", problem_key="k", parent=man,
+                dirty_names=[],
+            )
+        removed = store.prune(keep=1)
+        # Epoch 3 is kept; its references point at epoch 0 (the writing
+        # epoch), which must survive; 1 and 2 go.
+        assert store.epochs(0) == [0, 3]
+        assert removed
+        state = store.read_state(0, store.manifest(0, 3))
+        for name, buf in chunks:
+            assert state[name] == buf.tobytes()
+
+    def test_prune_requires_keep(self, tmp_path):
+        with pytest.raises(CheckpointError, match="at least one"):
+            CheckpointStore(tmp_path).prune(keep=0)
+
+    def test_verified_epochs_filter_by_problem_key(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(0, 0, _chunks(0, SIZES), problem_key="run-a")
+        store.save(0, 1, _chunks(1, SIZES), problem_key="run-b")
+        assert store.verified_epochs(0, "run-a") == [0]
+        assert store.verified_epochs(0, "run-b") == [1]
+        assert store.verified_epochs(0) == [0, 1]
+
+    def test_latest_consistent_with_gaps(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        for rank, epochs in ((0, (1, 2)), (1, (1,))):
+            for e in epochs:
+                store.save(rank, e, _chunks(e, SIZES))
+        assert store.consistent_epochs(2) == [1]
+        assert store.latest_consistent(2) == 1
+        # A rank directory missing entirely means no consistent epoch.
+        assert store.latest_consistent(3) == -1
+
+    def test_ls_rows(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(0, 0, _chunks(0, SIZES))
+        store.save(1, 0, _chunks(1, SIZES))
+        store.save(0, 1, _chunks(2, SIZES))
+        rows = store.ls_rows(nranks=2)
+        assert [r["epoch"] for r in rows] == [0, 1]
+        assert rows[0]["consistent"] and not rows[1]["consistent"]
+
+
+class TestNegotiation:
+    @pytest.mark.parametrize(
+        "per_rank,expected",
+        [
+            (((1, 2, 3), (1, 3)), 3),
+            (((1, 2), (2, 3)), 2),
+            (((1, 4), (3, 5)), -1),  # descent exhausts: no common epoch
+            (((), (1,)), -1),
+            (((2,), (2,)), 2),
+        ],
+    )
+    def test_negotiate_epoch(self, per_rank, expected):
+        def rank_fn(comm):
+            return negotiate_epoch(comm, per_rank[comm.rank], allreduce)
+
+        results = run_spmd(len(per_rank), rank_fn)
+        assert results == [expected] * len(per_rank)

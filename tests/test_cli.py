@@ -122,6 +122,77 @@ class TestChaos:
         # Same preset/method row, different injected schedule per seed.
         assert events_for(1) != events_for(2)
 
+    def test_preset_subset(self, capsys):
+        assert main(
+            ["chaos", "--trials", "2", "--quick", "--no-recheck",
+             "--presets", "crash_restart"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "resumed_exact: 2" in out
+        assert "PASS" in out
+
+    def test_unknown_preset_rejected(self, capsys):
+        assert main(
+            ["chaos", "--trials", "1", "--quick", "--presets", "bogus"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "unknown preset" in err and "crash_restart" in err
+
+
+class TestCheckpointCli:
+    def _run_with_store(self, tmp_path, steps="2", extra=()):
+        return main(
+            ["run", "--method", "layout", "--steps", steps,
+             "--checkpoint-dir", str(tmp_path), "--checkpoint-period", "1",
+             *extra]
+        )
+
+    def test_run_writes_store_and_resumes(self, capsys, tmp_path):
+        assert self._run_with_store(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "checkpoints: 1 epoch(s)" in out
+        assert str(tmp_path) in out
+        assert self._run_with_store(tmp_path, steps="4",
+                                    extra=("--resume",)) == 0
+        out = capsys.readouterr().out
+        assert "(resumed from epoch 1)" in out
+        assert "bit-exact vs serial reference: True" in out
+
+    def test_ls_verify_prune(self, capsys, tmp_path):
+        assert self._run_with_store(tmp_path, steps="3") == 0
+        capsys.readouterr()
+
+        assert main(["ckpt", "ls", str(tmp_path), "--nranks", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "latest consistent epoch: 2" in out
+        assert "yes" in out
+
+        assert main(["ckpt", "verify", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "16/16 snapshot(s) verified clean" in out
+        assert "CORRUPT" not in out
+
+        assert main(["ckpt", "prune", str(tmp_path), "--keep", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned" in out
+        assert main(["ckpt", "verify", str(tmp_path)]) == 0
+        capsys.readouterr()
+
+    def test_verify_detects_flipped_byte(self, capsys, tmp_path):
+        assert self._run_with_store(tmp_path) == 0
+        capsys.readouterr()
+        bins = sorted(tmp_path.rglob("*.bin"))
+        blob = bytearray(bins[0].read_bytes())
+        blob[len(blob) // 2] ^= 0x01
+        bins[0].write_bytes(bytes(blob))
+        assert main(["ckpt", "verify", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "CORRUPT" in out and "CRC32" in out
+
+    def test_empty_store_ls(self, capsys, tmp_path):
+        assert main(["ckpt", "ls", str(tmp_path)]) == 0
+        assert "no checkpoints" in capsys.readouterr().out
+
 
 class TestValidate:
     @pytest.mark.slow
