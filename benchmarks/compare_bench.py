@@ -8,9 +8,11 @@ execution plans, same configuration as
 executed run, same configuration as
 :data:`repro.bench.tracebench.DEFAULT_TRACE_CONFIG`) and
 ``BENCH_chaos.json`` (seeded fault-injection soak; all keys are
-deterministic counts, compared exactly) and ``BENCH_ckpt.json``
+deterministic counts, compared exactly), ``BENCH_ckpt.json``
 (checkpoint snapshot bytes -- deterministic, exact -- plus save/restore
-wall-clock) -- and walks every baseline key, comparing by key shape:
+wall-clock) and ``BENCH_e2e.json`` (whole-run executed speedup, plans on
+vs off, same configuration as :mod:`repro.bench.e2ebench`) -- and walks
+every baseline key, comparing by key shape:
 
 * absolute timings (leaf key or any ancestor key ending ``_s``): lower is
   better, fresh may exceed baseline by at most ``--tolerance``; dropped
@@ -39,6 +41,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import statistics
 import sys
 import time
 from pathlib import Path
@@ -48,7 +51,8 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 
 #: baseline file stem -> measurement function name (resolved lazily so
 #: ``--fresh`` diffs need no importable repro package at all)
-SUITES = ("BENCH_plan", "BENCH_trace", "BENCH_chaos", "BENCH_ckpt")
+SUITES = ("BENCH_plan", "BENCH_trace", "BENCH_chaos", "BENCH_ckpt",
+          "BENCH_e2e")
 
 
 def _ensure_repro_importable() -> None:
@@ -147,11 +151,17 @@ def measure_plan(quick: bool = False) -> Dict[str, Any]:
                      use_plans=use_plans)
         return time.perf_counter() - t0
 
+    # Warmup both arms, then interleave samples and report medians so the
+    # whole-run gate is not noise-bound (run-to-run drift hits both arms).
     run(True)
     run(False)
-    reps = 1 if quick else 3
-    t_on = min(run(True) for _ in range(reps))
-    t_off = min(run(False) for _ in range(reps))
+    reps = 3 if quick else 5
+    on_s, off_s = [], []
+    for _ in range(reps):
+        on_s.append(run(True))
+        off_s.append(run(False))
+    t_on = statistics.median(on_s)
+    t_off = statistics.median(off_s)
     results["run_executed_layout"] = {
         "timesteps": steps,
         "plans_on_s": t_on,
@@ -227,11 +237,25 @@ def measure_ckpt(quick: bool = False) -> Dict[str, Any]:
     return measure_ckpt_stats(quick=quick)
 
 
+def measure_e2e(quick: bool = False) -> Dict[str, Any]:
+    """Re-measure ``BENCH_e2e.json``: whole-run speedup, plans on vs off.
+
+    The end-to-end gate for the run-plan layer; ``bit_identical`` and the
+    configuration/count keys are exact-compared, the ``speedup`` carries
+    the tolerance band.  See :mod:`repro.bench.e2ebench`.
+    """
+    _ensure_repro_importable()
+    from repro.bench.e2ebench import measure_e2e_stats
+
+    return measure_e2e_stats(quick=quick)
+
+
 MEASURERS: Dict[str, Callable[[bool], Dict[str, Any]]] = {
     "BENCH_plan": measure_plan,
     "BENCH_trace": measure_trace,
     "BENCH_chaos": measure_chaos,
     "BENCH_ckpt": measure_ckpt,
+    "BENCH_e2e": measure_e2e,
 }
 
 

@@ -1,0 +1,115 @@
+"""End-to-end executed-run speedup: plans on vs plans off.
+
+The committed ``BENCH_e2e.json`` baseline is the whole-run gate for the
+run-plan layer (:mod:`repro.core.runplan`): the compiled brick kernel was
+5.7x in micro-benchmarks long before it showed up on executed wall clock,
+so CI gates the end-to-end number itself.  One function,
+:func:`measure_e2e_stats`, times ``run_executed`` with plans on and off
+on the strong-scaling regime (16^3 subdomains of 8^3 bricks, ghost 8 --
+the halo-dominated configuration the paper's Figure 9 studies), checks
+the two results are bit-identical, and returns the JSON document both
+``python -m repro bench e2e`` and ``benchmarks/compare_bench.py``
+consume.
+
+Measurement discipline (the per-run timings on shared runners are noisy;
+the gate must not be): one untimed warmup run per arm primes kernel
+compilation and allocator pools, then the arms are sampled interleaved
+(on, off, on, off, ...) so drift hits both equally, and the reported
+seconds are the per-arm medians.  ``speedup`` is the ratio of medians.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Any, Dict
+
+__all__ = ["DEFAULT_E2E_CONFIG", "measure_e2e_stats"]
+
+#: Configuration of the committed ``BENCH_e2e.json`` baseline.  32 steps:
+#: long enough that per-run compile/setup amortizes and the loop's
+#: steady state dominates (the regime run plans exist for), short enough
+#: that the full suite stays a few seconds.
+DEFAULT_E2E_CONFIG: Dict[str, Any] = {
+    "method": "layout",
+    "global_extent": (32, 32, 32),
+    "rank_dims": (2, 2, 2),
+    "brick_dim": (8, 8, 8),
+    "ghost": 8,
+    "timesteps": 32,
+}
+
+
+def measure_e2e_stats(quick: bool = False) -> Dict[str, Any]:
+    """Measure the plans-on vs plans-off whole-run speedup document."""
+    import numpy as np
+
+    from repro.core.driver import run_executed
+    from repro.core.problem import StencilProblem
+    from repro.hardware.profiles import generic_host
+    from repro.stencil.cbackend import batch_step_kernel
+    from repro.stencil.spec import SEVEN_POINT
+
+    cfg = DEFAULT_E2E_CONFIG
+    problem = StencilProblem(
+        global_extent=cfg["global_extent"],
+        rank_dims=cfg["rank_dims"],
+        stencil=SEVEN_POINT,
+        brick_dim=cfg["brick_dim"],
+        ghost=cfg["ghost"],
+    )
+    host = generic_host()
+    steps = cfg["timesteps"]  # exact-compared configuration key
+
+    def run(use_plans: bool):
+        t0 = time.perf_counter()
+        out = run_executed(
+            problem, cfg["method"], host, timesteps=steps,
+            use_plans=use_plans,
+        )
+        return time.perf_counter() - t0, out
+
+    # Warmup + bit-identity check in one: the first run per arm also
+    # primes compiled kernels, plan templates and allocator pools.
+    _, r_on = run(True)
+    _, r_off = run(False)
+    bit_identical = bool(
+        np.array_equal(r_on.global_result, r_off.global_result)
+    )
+
+    reps = 3 if quick else 7
+    on_s, off_s = [], []
+    for _ in range(reps):  # interleaved so machine drift hits both arms
+        on_s.append(run(True)[0])
+        off_s.append(run(False)[0])
+    t_on = statistics.median(on_s)
+    t_off = statistics.median(off_s)
+
+    # Which kernel backend actually served the plans-on arm.
+    probe = batch_step_kernel(
+        SEVEN_POINT.taps,
+        tuple(reversed(cfg["brick_dim"])),
+        SEVEN_POINT.radius,
+        0,
+        int(np.prod(cfg["brick_dim"])),
+        np.float64,
+    )
+    backend = "cffi" if probe is not None else "numpy"
+
+    return {
+        "run_executed_layout": {
+            "method": cfg["method"],
+            "global_extent": list(cfg["global_extent"]),
+            "rank_dims": list(cfg["rank_dims"]),
+            "brick_dim": list(cfg["brick_dim"]),
+            "ghost": cfg["ghost"],
+            "timesteps": steps,
+            "messages_per_rank": int(r_on.messages_per_rank),
+            "wire_bytes_per_rank": int(r_on.wire_bytes_per_rank),
+            "bit_identical": bit_identical,
+            "kernel_backend": backend,
+            "plans_on_s": t_on,
+            "plans_off_s": t_off,
+            "speedup": t_off / t_on,
+        }
+    }

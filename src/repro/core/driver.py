@@ -42,6 +42,7 @@ from repro.core.model import (
     _schedules,
 )
 from repro.core.problem import StencilProblem
+from repro.core.runplan import RankRunPlan, make_engines
 from repro.ckpt import (
     CheckpointConfig,
     CheckpointError,
@@ -421,49 +422,70 @@ def _rank_fn(
             if use_plans
             else None
         )
-        src, dst = 0, 1
-        for t in range(start_step, timesteps):
-            pos = t % period
-            crash_check(t)
-            if cp is not None and ckpt.due(t, start_step):
-                # Arrays double-buffer with no section structure, so
-                # every snapshot rewrites the one chunk.
-                cp.dirty.mark_all()
-                cp.save(
-                    t,
-                    [("array", arrays[src].reshape(-1).view(np.uint8))],
-                    _ckpt_meta(t, counters, timer, None, period, 0, injector),
-                )
-            with _TRACER.span("driver.step", rank=rank, step=t):
-                if pos == 0:
-                    with _TRACER.span("driver.exchange", rank=rank, step=t,
-                                      method=info.name):
-                        res = _exchange_with_retry(
-                            comm, exchangers[src], t, envelope, retry,
-                            injector,
-                        )
-                    counters["msgs"] += res.messages_sent
-                    counters["wire"] += res.wire_bytes_sent
-                    counters["payload"] += res.payload_bytes_sent
-                    if _METRICS.enabled:
-                        _METRICS.count("driver.exchanges", 1, rank=rank)
-                        _METRICS.count(
-                            "driver.messages", res.messages_sent, rank=rank
-                        )
-                        _METRICS.count(
-                            "driver.wire_bytes", res.wire_bytes_sent,
-                            rank=rank,
-                        )
-                with _TRACER.span("driver.calc", rank=rank, step=t):
-                    with timer.phase("calc"):
-                        if plans is not None:
-                            plans[pos].execute(arrays[src], arrays[dst])
-                        else:
-                            apply_array_stencil(
-                                arrays[src], arrays[dst], spec, ext, g,
-                                margin=margins[pos],
+        # Exchange engines: persistent channels (negotiated once, re-fired
+        # batched every step) wherever the method and fabric allow, the
+        # per-message exchangers otherwise.  Plans off disables the whole
+        # run-plan layer, channels included.
+        engines = make_engines(exchangers, plans is not None and not envelope)
+        if (
+            plans is not None
+            and injector is None
+            and cp is None
+            and not envelope
+            and not _TRACER.enabled
+            and not _METRICS.enabled
+        ):
+            # Plain fast path: replay the whole run through the compiled
+            # rank plan with minimal per-step Python.
+            rp = RankRunPlan(engines, plans, arrays, period)
+            src = rp.run(start_step, timesteps, counters, timer)
+        else:
+            src, dst = 0, 1
+            for t in range(start_step, timesteps):
+                pos = t % period
+                crash_check(t)
+                if cp is not None and ckpt.due(t, start_step):
+                    # Arrays double-buffer with no section structure, so
+                    # every snapshot rewrites the one chunk.
+                    cp.dirty.mark_all()
+                    cp.save(
+                        t,
+                        [("array", arrays[src].reshape(-1).view(np.uint8))],
+                        _ckpt_meta(
+                            t, counters, timer, None, period, 0, injector
+                        ),
+                    )
+                with _TRACER.span("driver.step", rank=rank, step=t):
+                    if pos == 0:
+                        with _TRACER.span("driver.exchange", rank=rank,
+                                          step=t, method=info.name):
+                            res = _exchange_with_retry(
+                                comm, engines[src], t, envelope, retry,
+                                injector,
                             )
-            src, dst = dst, src
+                        counters["msgs"] += res.messages_sent
+                        counters["wire"] += res.wire_bytes_sent
+                        counters["payload"] += res.payload_bytes_sent
+                        if _METRICS.enabled:
+                            _METRICS.count("driver.exchanges", 1, rank=rank)
+                            _METRICS.count(
+                                "driver.messages", res.messages_sent,
+                                rank=rank,
+                            )
+                            _METRICS.count(
+                                "driver.wire_bytes", res.wire_bytes_sent,
+                                rank=rank,
+                            )
+                    with _TRACER.span("driver.calc", rank=rank, step=t):
+                        with timer.phase("calc"):
+                            if plans is not None:
+                                plans[pos].execute(arrays[src], arrays[dst])
+                            else:
+                                apply_array_stencil(
+                                    arrays[src], arrays[dst], spec, ext, g,
+                                    margin=margins[pos],
+                                )
+                src, dst = dst, src
         result = arrays[src][own_slc].copy()
     else:
         decomp = BrickDecomp(
@@ -555,92 +577,112 @@ def _rank_fn(
             if use_plans
             else None
         )
-        src, dst = 0, 1
-        for t in range(start_step, timesteps):
-            pos = t % period
-            crash_check(t)
-            if cp is not None and ckpt.due(t, start_step):
-                # Placed after the crash check (a rank never snapshots
-                # the step it dies on) and before the degradation vote
-                # (demotion events after the snapshot refire identically
-                # on replay, so they must not be double-counted).
-                cp.save(
-                    t,
-                    cp.chunk_views(storages[src]),
-                    _ckpt_meta(
-                        t, counters, timer, ladder_level, period,
-                        adjacency_crc, injector,
-                    ),
-                )
-            if pos == 0 and ladder_level is not None:
-                # Degradation vote: a rank whose mapping machinery fails a
-                # live probe asks for demotion; allreduce-max keeps every
-                # rank on the same (wire-compatible) engine.
-                want = 0
-                if (
-                    injector is not None
-                    and ladder_level + 1 < len(_LADDER)
-                    and injector.degrade_due(rank, t)
-                ):
-                    with injector.vmem_armed("view_map_chunk"):
-                        if _vmem_probe_failed(storages[src], page):
-                            injector.record("vmem_fault", src=rank, step=t)
-                            want = 1
-                if int(allreduce(cart, np.asarray(want), np.maximum)):
-                    for ex in exchangers:
-                        close = getattr(ex, "close", None)
-                        if close:
-                            close()
-                    counters["demotions"] += 1
-                    if injector is not None:
-                        injector.record("demoted", src=rank, step=t)
-                    if _METRICS.enabled:
-                        _METRICS.count("faults.demoted", 1, rank=rank)
-                        _METRICS.gauge(
-                            "exchange.ladder_level", ladder_level + 1,
-                            rank=rank,
-                        )
-                    exchangers, ladder_level = _build_ladder(
-                        cart, ladder_level + 1, profile, decomp, storages,
-                        asn, page, injector, counters, t,
+        # Exchange engines: persistent channels where possible (see the
+        # array branch).  Rebuilt on every ladder demotion below so the
+        # replacement exchangers get channels too.
+        channels_on = plans is not None and not envelope
+        engines = make_engines(exchangers, channels_on)
+        if (
+            plans is not None
+            and injector is None
+            and cp is None
+            and ladder_level is None
+            and not envelope
+            and not _TRACER.enabled
+            and not _METRICS.enabled
+        ):
+            # Plain fast path: replay the whole run through the compiled
+            # rank plan with minimal per-step Python.
+            rp = RankRunPlan(engines, plans, storages, period)
+            src = rp.run(start_step, timesteps, counters, timer)
+        else:
+            src, dst = 0, 1
+            for t in range(start_step, timesteps):
+                pos = t % period
+                crash_check(t)
+                if cp is not None and ckpt.due(t, start_step):
+                    # Placed after the crash check (a rank never snapshots
+                    # the step it dies on) and before the degradation vote
+                    # (demotion events after the snapshot refire identically
+                    # on replay, so they must not be double-counted).
+                    cp.save(
+                        t,
+                        cp.chunk_views(storages[src]),
+                        _ckpt_meta(
+                            t, counters, timer, ladder_level, period,
+                            adjacency_crc, injector,
+                        ),
                     )
-            with _TRACER.span("driver.step", rank=rank, step=t):
-                if pos == 0:
-                    with _TRACER.span("driver.exchange", rank=rank, step=t,
-                                      method=info.name):
-                        res = _exchange_with_retry(
-                            comm, exchangers[src], t, envelope, retry,
-                            injector,
-                        )
-                    counters["msgs"] += res.messages_sent
-                    counters["wire"] += res.wire_bytes_sent
-                    counters["payload"] += res.payload_bytes_sent
-                    if _METRICS.enabled:
-                        _METRICS.count("driver.exchanges", 1, rank=rank)
-                        _METRICS.count(
-                            "driver.messages", res.messages_sent, rank=rank
-                        )
-                        _METRICS.count(
-                            "driver.wire_bytes", res.wire_bytes_sent,
-                            rank=rank,
-                        )
-                    if cp is not None:
-                        # Exchange rewrites every ghost section of the
-                        # current src buffer.
-                        for g_start, g_n in ghost_ranges:
-                            cp.dirty.mark_range(g_start, g_n)
-                with _TRACER.span("driver.calc", rank=rank, step=t):
-                    with timer.phase("calc"):
-                        if plans is not None:
-                            plans[pos].execute(storages[src], storages[dst])
-                        else:
-                            apply_brick_stencil(
-                                spec, storages[src], storages[dst], binfo,
-                                cycle_slots[pos],
+                if pos == 0 and ladder_level is not None:
+                    # Degradation vote: a rank whose mapping machinery fails a
+                    # live probe asks for demotion; allreduce-max keeps every
+                    # rank on the same (wire-compatible) engine.
+                    want = 0
+                    if (
+                        injector is not None
+                        and ladder_level + 1 < len(_LADDER)
+                        and injector.degrade_due(rank, t)
+                    ):
+                        with injector.vmem_armed("view_map_chunk"):
+                            if _vmem_probe_failed(storages[src], page):
+                                injector.record("vmem_fault", src=rank, step=t)
+                                want = 1
+                    if int(allreduce(cart, np.asarray(want), np.maximum)):
+                        for ex in exchangers:
+                            close = getattr(ex, "close", None)
+                            if close:
+                                close()
+                        counters["demotions"] += 1
+                        if injector is not None:
+                            injector.record("demoted", src=rank, step=t)
+                        if _METRICS.enabled:
+                            _METRICS.count("faults.demoted", 1, rank=rank)
+                            _METRICS.gauge(
+                                "exchange.ladder_level", ladder_level + 1,
+                                rank=rank,
                             )
-                if cp is not None:
-                    cp.dirty.mark_slots(cycle_slots[pos])
-            src, dst = dst, src
+                        exchangers, ladder_level = _build_ladder(
+                            cart, ladder_level + 1, profile, decomp, storages,
+                            asn, page, injector, counters, t,
+                        )
+                        engines = make_engines(exchangers, channels_on)
+                with _TRACER.span("driver.step", rank=rank, step=t):
+                    if pos == 0:
+                        with _TRACER.span("driver.exchange", rank=rank, step=t,
+                                          method=info.name):
+                            res = _exchange_with_retry(
+                                comm, engines[src], t, envelope, retry,
+                                injector,
+                            )
+                        counters["msgs"] += res.messages_sent
+                        counters["wire"] += res.wire_bytes_sent
+                        counters["payload"] += res.payload_bytes_sent
+                        if _METRICS.enabled:
+                            _METRICS.count("driver.exchanges", 1, rank=rank)
+                            _METRICS.count(
+                                "driver.messages", res.messages_sent, rank=rank
+                            )
+                            _METRICS.count(
+                                "driver.wire_bytes", res.wire_bytes_sent,
+                                rank=rank,
+                            )
+                        if cp is not None:
+                            # Exchange rewrites every ghost section of the
+                            # current src buffer.
+                            for g_start, g_n in ghost_ranges:
+                                cp.dirty.mark_range(g_start, g_n)
+                    with _TRACER.span("driver.calc", rank=rank, step=t):
+                        with timer.phase("calc"):
+                            if plans is not None:
+                                plans[pos].execute(storages[src], storages[dst])
+                            else:
+                                apply_brick_stencil(
+                                    spec, storages[src], storages[dst], binfo,
+                                    cycle_slots[pos],
+                                )
+                    if cp is not None:
+                        cp.dirty.mark_slots(cycle_slots[pos])
+                src, dst = dst, src
         if info.base == "memmap":
             # After a demotion the live engine may have no mappings at all.
             counters["maps"] = getattr(exchangers[0], "mapping_count", 0)

@@ -1,0 +1,128 @@
+"""Run plans: the executed timestep loop, compiled once and replayed.
+
+The compiled stencil plans (PR 2, :mod:`repro.stencil.plan`) made the
+kernel 5.7x faster, yet the whole-run speedup stayed at ~1x: the flame
+profile of an executed run shows the wall clock going to per-step,
+per-message work in the driver / exchanger / simmpi stack -- thousands of
+lock acquisitions, request objects, re-derived schedules and re-priced
+cost models per run.  This module hoists all of it to per-run time:
+
+* **Exchange channels** (:class:`repro.exchange.base.ExchangeChannel`)
+  flatten each exchanger's message plan into precomputed ``(peer, tag,
+  buffer)`` tuples over persistent buffers -- negotiated once, re-fired
+  every step through the batched fabric calls (one posting call and one
+  receive drain per exchange instead of one per message).
+* **A rank run plan** (:class:`RankRunPlan`) binds, per cycle position,
+  the channel and the compiled stencil plan to preresolved double-buffer
+  slots, and replays the whole run in one tight loop whose per-step
+  Python is: one channel re-fire, one plan execution, one buffer flip.
+  Exchange counters are precomputed constants accumulated arithmetically.
+
+The plan is replayed only on the *plain* fast path.  Featured runs --
+verified envelopes, fault injection, checkpointing, the degradation
+ladder, or live observability -- keep the instrumented per-step loop in
+:mod:`repro.core.driver` (which still benefits from the channels), so
+those paths run unchanged on top of run plans.  ``REPRO_NO_PLAN=1``
+disables both the stencil plans and the run-plan replay.
+
+Run plans hold per-rank mutable state (the stencil plans' scratch
+buffers); build one per simulated rank, never share across threads.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.exchange.base import Exchanger
+from repro.util.timing import PhaseTimer
+
+__all__ = ["RankRunPlan", "make_engines"]
+
+
+def make_engines(exchangers: Sequence[Exchanger], channels: bool) -> list:
+    """The per-buffer exchange engines a run should fire each step.
+
+    With *channels* true, every exchanger that can be replayed as a
+    persistent batch is replaced by its :class:`ExchangeChannel`; the
+    rest (phased schemes like Shift, or any exchanger on a verified
+    fabric) keep their per-step ``exchange()`` entry point.  Either way
+    the returned objects expose the same ``exchange() -> ExchangeResult``
+    surface, so callers fire them interchangeably.
+    """
+    if not channels:
+        return list(exchangers)
+    return [ex.make_channel() or ex for ex in exchangers]
+
+
+class RankRunPlan:
+    """Compiled per-rank program for one executed run.
+
+    ``engines[i]`` is the exchange engine bound to double-buffer slot
+    ``i`` (fired at cycle position 0 of whichever buffer is current);
+    ``plans[pos]`` is the stencil plan for cycle position *pos*;
+    ``buffers`` are the two storage/array operands the plans read and
+    write.  :meth:`run` replays the program with minimal per-step Python
+    and charges measured calc wall-clock in one sum at the end.
+    """
+
+    __slots__ = ("engines", "plans", "buffers", "period")
+
+    def __init__(
+        self,
+        engines: Sequence,
+        plans: Sequence,
+        buffers: Sequence,
+        period: int,
+    ) -> None:
+        if len(engines) != len(buffers):
+            raise ValueError("one exchange engine per double-buffer slot")
+        if len(plans) != period:
+            raise ValueError("one stencil plan per cycle position")
+        self.engines = list(engines)
+        self.plans = list(plans)
+        self.buffers = list(buffers)
+        self.period = int(period)
+
+    def run(
+        self,
+        start_step: int,
+        timesteps: int,
+        counters: dict,
+        timer: PhaseTimer,
+    ) -> int:
+        """Replay steps ``[start_step, timesteps)``; returns the final
+        source buffer index.
+
+        Accumulates the run's message/byte counters into *counters* and
+        the measured calc seconds into *timer* exactly as the
+        instrumented loop would, just without per-step dict traffic.
+        The replay always starts from buffer 0, matching the driver's
+        loop (checkpoint resumes restore into buffer 0 too, but resumed
+        runs take the instrumented path anyway).
+        """
+        engines = self.engines
+        plans = self.plans
+        bufs = self.buffers
+        period = self.period
+        perf = time.perf_counter
+        src, dst = 0, 1
+        msgs = wire = payload = 0
+        calc_s = 0.0
+        for t in range(start_step, timesteps):
+            pos = t % period
+            if pos == 0:
+                res = engines[src].exchange()
+                msgs += res.messages_sent
+                wire += res.wire_bytes_sent
+                payload += res.payload_bytes_sent
+            plan = plans[pos]
+            t0 = perf()
+            plan.execute(bufs[src], bufs[dst])
+            calc_s += perf() - t0
+            src, dst = dst, src
+        counters["msgs"] += msgs
+        counters["wire"] += wire
+        counters["payload"] += payload
+        timer.breakdown.charge("calc", calc_s)
+        return src

@@ -18,11 +18,13 @@ import numpy as np
 
 from repro.exchange.schedule import MessageSpec
 from repro.hardware.profiles import MachineProfile
+from repro.obs import METRICS as _METRICS
+from repro.obs import TRACER as _TRACER
 from repro.simmpi.comm import CartComm
 from repro.util.bitset import BitSet
 from repro.util.timing import TimeBreakdown
 
-__all__ = ["Exchanger", "ExchangeResult", "exchange_tag"]
+__all__ = ["Exchanger", "ExchangeChannel", "ExchangeResult", "exchange_tag"]
 
 _MAX_RUNS_PER_NEIGHBOR = 4096
 
@@ -53,6 +55,85 @@ class ExchangeResult:
         ) / self.payload_bytes_sent
 
 
+class ExchangeChannel:
+    """Persistent exchange channel: negotiate once, fire every step.
+
+    The run-plan analogue of persistent MPI requests.  An exchanger's
+    message plan is flattened, once, into precomputed ``(peer, tag,
+    buffer)`` tuples bound to persistent buffers (storage views for the
+    pack-free schemes, staging buffers for the packing ones), and each
+    step replays it through the batched fabric operations -- one posting
+    call, one receive drain, one send sweep -- instead of ``N``
+    point-to-point request objects through the per-message chokepoint.
+
+    The modelled :class:`ExchangeResult` is a function of the (static)
+    message plan, so it too is computed once and returned by reference.
+    Channels carry no wire-verification machinery: they are only built on
+    an unverified fabric (the envelope/chaos path keeps the per-message
+    protocol, whose sequence/CRC state lives in the fabric).
+    """
+
+    __slots__ = ("comm", "method", "_fabric", "_rank", "_posts", "_recvs",
+                 "_result", "_packed_bytes", "_pre", "_post", "_pre_span",
+                 "_post_span", "_nmsgs")
+
+    def __init__(
+        self,
+        comm: CartComm,
+        method: str,
+        posts: Sequence[Tuple[int, int, np.ndarray]],
+        recvs: Sequence[Tuple[int, int, np.ndarray]],
+        result: ExchangeResult,
+        packed_bytes: int = 0,
+        pre=None,
+        post=None,
+        pre_span: str = "exchange.pack",
+        post_span: str = "exchange.unpack",
+    ) -> None:
+        if comm.fabric.envelope_enabled:
+            raise ValueError(
+                "exchange channels require an unverified fabric; the"
+                " envelope protocol is per-message"
+            )
+        for _, _, buf in list(posts) + list(recvs):
+            if not buf.flags.c_contiguous:
+                raise ValueError("channel buffers must be C-contiguous")
+        self.comm = comm
+        self.method = method
+        self._fabric = comm.fabric
+        self._rank = comm.rank
+        self._posts = list(posts)
+        self._recvs = list(recvs)
+        self._result = result
+        self._packed_bytes = int(packed_bytes)
+        self._pre = pre
+        self._post = post
+        self._pre_span = pre_span
+        self._post_span = post_span
+        self._nmsgs = len(self._posts)
+
+    def exchange(self) -> ExchangeResult:
+        """Re-fire the negotiated plan; returns the precomputed result."""
+        fabric = self._fabric
+        rank = self._rank
+        if self._pre is not None:
+            with _TRACER.span(self._pre_span, rank=rank, method=self.method):
+                self._pre()
+        with _TRACER.span("exchange.post", rank=rank, method=self.method):
+            entries = fabric.post_send_batch(rank, self._posts)
+        with _TRACER.span("exchange.wait", rank=rank, method=self.method):
+            fabric.complete_recv_batch(rank, self._recvs)
+            fabric.wait_send_batch(entries, rank)
+        if self._post is not None:
+            with _TRACER.span(self._post_span, rank=rank, method=self.method):
+                self._post()
+        if _METRICS.enabled:
+            _METRICS.count("exchange.bytes_packed", self._packed_bytes,
+                           rank=rank)
+            _METRICS.count("exchange.messages", self._nmsgs, rank=rank)
+        return self._result
+
+
 class Exchanger(abc.ABC):
     """One rank's ghost-zone exchange engine.
 
@@ -74,6 +155,16 @@ class Exchanger(abc.ABC):
     @abc.abstractmethod
     def send_specs(self) -> List[MessageSpec]:
         """The modelled send schedule of this rank."""
+
+    def make_channel(self) -> Optional[ExchangeChannel]:
+        """Persistent-channel form of this exchanger's plan.
+
+        ``None`` (the default) means the scheme cannot be replayed as one
+        batch -- phased algorithms with intra-exchange barriers (Shift),
+        or a verified fabric -- and the caller keeps the per-step
+        :meth:`exchange` path.
+        """
+        return None
 
     # ------------------------------------------------------------------
     # Shared modelled-time helpers (thin wrappers over exchange.costs)

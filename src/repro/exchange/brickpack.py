@@ -23,7 +23,12 @@ import numpy as np
 from repro.brick.decomp import BrickDecomp, SlotAssignment
 from repro.brick.info import direction_index
 from repro.brick.storage import BrickStorage
-from repro.exchange.base import ExchangeResult, Exchanger, exchange_tag
+from repro.exchange.base import (
+    ExchangeChannel,
+    ExchangeResult,
+    Exchanger,
+    exchange_tag,
+)
 from repro.exchange.schedule import MessageSpec
 from repro.hardware.profiles import MachineProfile
 from repro.layout.messages import message_runs
@@ -118,9 +123,29 @@ class BrickPackExchanger(Exchanger):
     def recv_specs(self) -> List[MessageSpec]:
         return [p["spec"] for p in self._plan]
 
-    def exchange(self) -> ExchangeResult:
+    def _pack_sends(self) -> None:
+        """Gather every neighbor's surface sections into its staging buffer."""
         st = self.storage
         be = st.brick_elems
+        for p in self._plan:
+            buf, pos = p["send_buf"], 0
+            for sec in p["send_secs"]:
+                n = sec.nbricks * be
+                buf[pos : pos + n] = st.slot_view(sec.start, sec.nbricks)
+                pos += n
+
+    def _unpack_recvs(self) -> None:
+        """Scatter every received payload into its ghost sections."""
+        st = self.storage
+        be = st.brick_elems
+        for p in self._plan:
+            buf, pos = p["recv_buf"], 0
+            for sec in p["recv_secs"]:
+                n = sec.nbricks * be
+                st.slot_view(sec.start, sec.nbricks)[:] = buf[pos : pos + n]
+                pos += n
+
+    def exchange(self) -> ExchangeResult:
         rank = self.comm.rank
         reqs = []
         with _TRACER.span("exchange.post", rank=rank, method=self.method):
@@ -129,31 +154,25 @@ class BrickPackExchanger(Exchanger):
                     self.comm.Irecv(p["recv_buf"], p["rank"], p["recv_tag"])
                 )
         with _TRACER.span("exchange.pack", rank=rank, method=self.method):
+            self._pack_sends()
             for p in self._plan:
-                buf, pos = p["send_buf"], 0
-                for sec in p["send_secs"]:
-                    n = sec.nbricks * be
-                    buf[pos : pos + n] = st.slot_view(sec.start, sec.nbricks)
-                    pos += n
                 reqs.append(
                     self.comm.Isend(p["send_buf"], p["rank"], p["send_tag"])
                 )
         with _TRACER.span("exchange.wait", rank=rank, method=self.method):
             self.comm.Waitall(reqs)
         with _TRACER.span("exchange.unpack", rank=rank, method=self.method):
-            for p in self._plan:
-                buf, pos = p["recv_buf"], 0
-                for sec in p["recv_secs"]:
-                    n = sec.nbricks * be
-                    st.slot_view(sec.start, sec.nbricks)[:] = buf[pos : pos + n]
-                    pos += n
+            self._unpack_recvs()
         if _METRICS.enabled:
             staged = sum(
                 p["send_buf"].nbytes + p["recv_buf"].nbytes for p in self._plan
             )
             _METRICS.count("exchange.bytes_packed", staged, rank=rank)
             _METRICS.count("exchange.messages", len(self._plan), rank=rank)
+        return self._model_result()
 
+    def _model_result(self) -> ExchangeResult:
+        """Modelled outcome of one exchange (static per message plan)."""
         specs = self.send_specs()
         breakdown = TimeBreakdown()
         breakdown.charge("pack", self._pack_cost(specs) * 2)  # pack+unpack
@@ -166,4 +185,21 @@ class BrickPackExchanger(Exchanger):
             messages_received=len(specs),
             payload_bytes_sent=sum(m.payload_bytes for m in specs),
             wire_bytes_sent=sum(m.wire_bytes for m in specs),
+        )
+
+    def make_channel(self):
+        if self.comm.fabric.envelope_enabled:
+            return None
+        plan = self._plan
+        return ExchangeChannel(
+            self.comm,
+            self.method,
+            posts=[(p["rank"], p["send_tag"], p["send_buf"]) for p in plan],
+            recvs=[(p["rank"], p["recv_tag"], p["recv_buf"]) for p in plan],
+            result=self._model_result(),
+            packed_bytes=sum(
+                p["send_buf"].nbytes + p["recv_buf"].nbytes for p in plan
+            ),
+            pre=self._pack_sends,
+            post=self._unpack_recvs,
         )

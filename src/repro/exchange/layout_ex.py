@@ -17,7 +17,12 @@ import numpy as np
 from repro.brick.decomp import BrickDecomp, SlotAssignment
 from repro.brick.info import direction_index
 from repro.brick.storage import BrickStorage
-from repro.exchange.base import ExchangeResult, Exchanger, exchange_tag
+from repro.exchange.base import (
+    ExchangeChannel,
+    ExchangeResult,
+    Exchanger,
+    exchange_tag,
+)
 from repro.exchange.schedule import MessageSpec
 from repro.hardware.profiles import MachineProfile
 from repro.layout.messages import message_runs
@@ -156,7 +161,10 @@ class LayoutExchanger(Exchanger):
             # Pack-free by construction: zero bytes staged on-node.
             _METRICS.count("exchange.bytes_packed", 0, rank=rank)
             _METRICS.count("exchange.messages", len(self._sends), rank=rank)
+        return self._model_result()
 
+    def _model_result(self) -> ExchangeResult:
+        """Modelled outcome of one exchange (static per message plan)."""
         send_specs = self.send_specs()
         recv_specs = self.recv_specs()
         breakdown = TimeBreakdown()  # pack stays exactly zero
@@ -169,4 +177,24 @@ class LayoutExchanger(Exchanger):
             messages_received=len(recv_specs),
             payload_bytes_sent=sum(m.payload_bytes for m in send_specs),
             wire_bytes_sent=sum(m.wire_bytes for m in send_specs),
+        )
+
+    def make_channel(self):
+        if self.comm.fabric.envelope_enabled:
+            return None
+        st = self.storage
+        return ExchangeChannel(
+            self.comm,
+            self.method,
+            posts=[
+                (s["rank"], s["tag"],
+                 st.slot_view(s["slot_start"], s["nbricks"]))
+                for s in self._sends
+            ],
+            recvs=[
+                (r["rank"], r["tag"],
+                 st.slot_view(r["slot_start"], r["nbricks"]))
+                for r in self._recvs
+            ],
+            result=self._model_result(),
         )

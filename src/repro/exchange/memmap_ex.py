@@ -27,7 +27,12 @@ import numpy as np
 from repro.brick.decomp import BrickDecomp, SlotAssignment
 from repro.brick.info import direction_index
 from repro.brick.storage import BrickStorage
-from repro.exchange.base import ExchangeResult, Exchanger, exchange_tag
+from repro.exchange.base import (
+    ExchangeChannel,
+    ExchangeResult,
+    Exchanger,
+    exchange_tag,
+)
 from repro.exchange.schedule import MessageSpec
 from repro.hardware.profiles import MachineProfile
 from repro.layout.messages import message_runs
@@ -207,7 +212,10 @@ class MemMapExchanger(Exchanger):
             _METRICS.count("exchange.bytes_packed", 0, rank=rank)
             _METRICS.count("exchange.messages", len(self.views), rank=rank)
             _METRICS.gauge("memmap.regions", self.mapping_count, rank=rank)
+        return self._model_result()
 
+    def _model_result(self) -> ExchangeResult:
+        """Modelled outcome of one exchange (static per view plan)."""
         send_specs = self.send_specs()
         recv_specs = self.recv_specs()
         breakdown = TimeBreakdown()  # pack-free and copy-free
@@ -220,6 +228,31 @@ class MemMapExchanger(Exchanger):
             messages_received=len(recv_specs),
             payload_bytes_sent=sum(m.payload_bytes for m in send_specs),
             wire_bytes_sent=sum(m.wire_bytes for m in send_specs),
+        )
+
+    def make_channel(self):
+        if self.comm.fabric.envelope_enabled:
+            return None
+        views = self.views
+
+        def refresh() -> None:
+            for v in views:
+                v.send_view.refresh()  # no-op on real mappings
+
+        def flush() -> None:
+            for v in views:
+                v.recv_view.flush()  # no-op on real mappings
+
+        return ExchangeChannel(
+            self.comm,
+            self.method,
+            posts=[(v.rank, v.send_tag, v.send_view.array()) for v in views],
+            recvs=[(v.rank, v.recv_tag, v.recv_view.array()) for v in views],
+            result=self._model_result(),
+            pre=refresh,
+            post=flush,
+            pre_span="exchange.sync",
+            post_span="exchange.sync",
         )
 
     def close(self) -> None:

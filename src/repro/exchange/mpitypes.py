@@ -16,7 +16,12 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.brick.info import direction_index
-from repro.exchange.base import ExchangeResult, Exchanger, exchange_tag
+from repro.exchange.base import (
+    ExchangeChannel,
+    ExchangeResult,
+    Exchanger,
+    exchange_tag,
+)
 from repro.exchange.boxes import neighbor_recv_box, neighbor_send_box
 from repro.exchange.schedule import MessageSpec, array_schedule
 from repro.hardware.profiles import MachineProfile
@@ -116,7 +121,10 @@ class MPITypesExchanger(Exchanger):
             moved = sum(p["recv_buf"].nbytes for p in self._plan) * 2
             _METRICS.count("exchange.bytes_packed", moved, rank=rank)
             _METRICS.count("exchange.messages", len(self._plan), rank=rank)
+        return self._model_result()
 
+    def _model_result(self) -> ExchangeResult:
+        """Modelled outcome of one exchange (static per message plan)."""
         breakdown = TimeBreakdown()
         call, wait = self._network_times(self._specs, self._specs)
         # Datatype processing happens on both the send and receive side,
@@ -131,4 +139,34 @@ class MPITypesExchanger(Exchanger):
             messages_received=len(self._specs),
             payload_bytes_sent=sum(m.payload_bytes for m in self._specs),
             wire_bytes_sent=sent,
+        )
+
+    def make_channel(self):
+        if self.comm.fabric.envelope_enabled:
+            return None
+        arr = self.array
+        plan = self._plan
+        # Persistent wire buffers: the per-step path allocates a fresh
+        # extraction per message, the channel re-fills these instead.
+        for p in plan:
+            if "send_buf" not in p:
+                p["send_buf"] = np.empty(p["send_type"].count, dtype=arr.dtype)
+
+        def pack() -> None:
+            for p in plan:
+                p["send_type"].extract_into(arr, p["send_buf"])
+
+        def unpack() -> None:
+            for p in plan:
+                p["recv_type"].insert(arr, p["recv_buf"])
+
+        return ExchangeChannel(
+            self.comm,
+            self.method,
+            posts=[(p["rank"], p["send_tag"], p["send_buf"]) for p in plan],
+            recvs=[(p["rank"], p["recv_tag"], p["recv_buf"]) for p in plan],
+            result=self._model_result(),
+            packed_bytes=sum(p["recv_buf"].nbytes for p in plan) * 2,
+            pre=pack,
+            post=unpack,
         )

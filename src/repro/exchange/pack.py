@@ -19,7 +19,12 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from repro.brick.info import direction_index
-from repro.exchange.base import ExchangeResult, Exchanger, exchange_tag
+from repro.exchange.base import (
+    ExchangeChannel,
+    ExchangeResult,
+    Exchanger,
+    exchange_tag,
+)
 from repro.exchange.boxes import box_slices, neighbor_recv_box, neighbor_send_box
 from repro.exchange.schedule import MessageSpec, array_schedule
 from repro.hardware.profiles import MachineProfile
@@ -129,7 +134,10 @@ class PackExchanger(Exchanger):
             _METRICS.count("exchange.bytes_packed", packed + unpacked,
                            rank=rank)
             _METRICS.count("exchange.messages", len(self._plan), rank=rank)
+        return self._model_result()
 
+    def _model_result(self) -> ExchangeResult:
+        """Modelled outcome of one exchange (static per message plan)."""
         breakdown = TimeBreakdown()
         breakdown.charge("pack", self._pack_cost(self._specs) * 2)  # pack+unpack
         call, wait = self._network_times(self._specs, self._specs)
@@ -142,4 +150,31 @@ class PackExchanger(Exchanger):
             messages_received=len(self._specs),
             payload_bytes_sent=sum(m.payload_bytes for m in self._specs),
             wire_bytes_sent=sent,
+        )
+
+    def make_channel(self):
+        if self.comm.fabric.envelope_enabled:
+            return None
+        arr = self.array
+        plan = self._plan
+
+        def pack() -> None:
+            for p in plan:
+                np.copyto(p["send_view"], arr[p["send_slices"]])
+
+        def unpack() -> None:
+            for p in plan:
+                arr[p["recv_slices"]] = p["recv_view"]
+
+        return ExchangeChannel(
+            self.comm,
+            self.method,
+            posts=[(p["rank"], p["send_tag"], p["send_buf"]) for p in plan],
+            recvs=[(p["rank"], p["recv_tag"], p["recv_buf"]) for p in plan],
+            result=self._model_result(),
+            packed_bytes=sum(
+                p["send_buf"].nbytes + p["recv_buf"].nbytes for p in plan
+            ),
+            pre=pack,
+            post=unpack,
         )

@@ -59,10 +59,17 @@ TRACER = Tracer()
 METRICS = MetricsRegistry()
 
 
-def enable(trace: bool = True, metrics: bool = True) -> None:
-    """Turn observability on (clearing anything previously recorded)."""
+def enable(
+    trace: bool = True, metrics: bool = True, sample_every: int = None
+) -> None:
+    """Turn observability on (clearing anything previously recorded).
+
+    *sample_every* keeps every k-th top-level span per thread (see
+    :class:`~repro.obs.tracer.Tracer`); the default keeps the tracer's
+    current rate (1 = everything).
+    """
     if trace:
-        TRACER.enable()
+        TRACER.enable(sample_every=sample_every)
     if metrics:
         METRICS.enable()
 
@@ -74,9 +81,11 @@ def disable() -> None:
 
 
 @contextmanager
-def observed(trace: bool = True, metrics: bool = True):
+def observed(
+    trace: bool = True, metrics: bool = True, sample_every: int = None
+):
     """Enable observability for the duration of a ``with`` block."""
-    enable(trace=trace, metrics=metrics)
+    enable(trace=trace, metrics=metrics, sample_every=sample_every)
     try:
         yield TRACER
     finally:

@@ -40,6 +40,15 @@ class Datatype(abc.ABC):
     def extract(self, arr: np.ndarray) -> np.ndarray:
         """Pack the selection of *arr* into a fresh contiguous buffer."""
 
+    def extract_into(self, arr: np.ndarray, out: np.ndarray) -> None:
+        """Pack the selection of *arr* into caller-owned contiguous *out*.
+
+        Persistent-request form of :meth:`extract`: exchange channels
+        keep one wire buffer per message and re-fill it every step, so
+        the per-step datatype processing allocates nothing.
+        """
+        out.reshape(-1)[:] = self.extract(arr)
+
     @abc.abstractmethod
     def insert(self, arr: np.ndarray, buf: np.ndarray) -> None:
         """Unpack contiguous *buf* into the selection of *arr*."""
@@ -151,6 +160,11 @@ class SubarrayType(Datatype):
         if arr.shape != self.shape:
             raise ValueError(f"expected array of shape {self.shape}, got {arr.shape}")
         return np.ascontiguousarray(arr[self._slices()]).reshape(-1)
+
+    def extract_into(self, arr: np.ndarray, out: np.ndarray) -> None:
+        if arr.shape != self.shape:
+            raise ValueError(f"expected array of shape {self.shape}, got {arr.shape}")
+        np.copyto(out.reshape(self.subshape), arr[self._slices()])
 
     def insert(self, arr: np.ndarray, buf: np.ndarray) -> None:
         if arr.shape != self.shape:

@@ -252,6 +252,141 @@ class SimFabric:
             _METRICS.count("fabric.wire_bytes", buf.nbytes, rank=src)
         return entry
 
+    # ------------------------------------------------------------------
+    # Batched posting (run-plan fast path)
+    #
+    # One fabric call per exchange instead of one per message: a whole
+    # step's sends are deposited under a single lock acquisition, the
+    # matching receives drain in one condition loop (copies run outside
+    # the lock, so peers' wire copies overlap), and send completion is
+    # awaited in one sweep.  Persistent-channel style: the (dst, tag,
+    # buffer) tuples are negotiated once per run by the exchange channels
+    # and re-fired every step.  Verified (envelope) fabrics refuse the
+    # batch path -- the channel layer falls back to the per-message
+    # protocol, which carries the sequence/CRC machinery.
+    # ------------------------------------------------------------------
+    def post_send_batch(self, src: int, posts) -> List[_SendEntry]:
+        """Deposit a whole step's sends in one lock acquisition.
+
+        *posts* is a sequence of ``(dst, tag, buf)`` with contiguous
+        NumPy buffers (the channel layer guarantees this at build time).
+        Returns the entries whose events mark per-message completion.
+        """
+        if self._envelope:
+            raise RuntimeError(
+                "batched posting is not available on a verified fabric;"
+                " use the per-message protocol"
+            )
+        entries = []
+        nbytes = 0
+        for dst, tag, buf in posts:
+            entries.append((dst, tag, _SendEntry(buf, src)))
+            nbytes += buf.nbytes
+        with self._lock:
+            boxes = self._mailboxes
+            for dst, tag, entry in entries:
+                boxes[(src, dst, tag)].append(entry)
+            st = self.stats[src]
+            st.sends += len(entries)
+            st.bytes_sent += nbytes
+            self._lock.notify_all()
+        if _METRICS.enabled:
+            _METRICS.count("fabric.messages", len(entries), rank=src)
+            _METRICS.count("fabric.wire_bytes", nbytes, rank=src)
+        return [e for _, _, e in entries]
+
+    def complete_recv_batch(self, dst: int, recvs) -> None:
+        """Complete a whole step's receives in one condition loop.
+
+        *recvs* is a sequence of ``(src, tag, buf)``.  Matching entries
+        are popped under the lock but copied outside it, so concurrent
+        ranks' wire copies (which release the GIL) overlap instead of
+        serializing on the fabric lock.  Buffers are disjoint by
+        construction (each targets its own ghost region), so arrival
+        order cannot change the result.
+        """
+        if self._envelope:
+            raise RuntimeError(
+                "batched receives are not available on a verified fabric;"
+                " use the per-message protocol"
+            )
+        n = len(recvs)
+        if n == 0:
+            return
+        timeout = self.timeout
+        pending = list(range(n))
+        nbytes = 0
+        with _TRACER.span("fabric.recv", rank=dst, n=n):
+            deadline = time.monotonic() + timeout
+            while pending:
+                ready = []
+                with self._lock:
+                    while True:
+                        if self._failed:
+                            raise AbortedError(
+                                "another rank failed; aborting receive"
+                            )
+                        still = []
+                        boxes = self._mailboxes
+                        for i in pending:
+                            src, tag, _buf = recvs[i]
+                            q = boxes.get((src, dst, tag))
+                            if q:
+                                ready.append((i, q.popleft()))
+                            else:
+                                still.append(i)
+                        pending = still
+                        if ready or not pending:
+                            break
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0 or not self._lock.wait(
+                            timeout=remaining
+                        ):
+                            self._failed = True
+                            self._lock.notify_all()
+                            src, tag, _buf = recvs[pending[0]]
+                            raise DeadlockError(
+                                f"rank {dst} waited {timeout}s for"
+                                f" message (src={src}, tag={tag})"
+                            )
+                for i, entry in ready:
+                    src, tag, buf = recvs[i]
+                    self._copy_into(entry.buf, buf, (src, dst, tag))
+                    nbytes += buf.nbytes
+                    entry.done.set()
+            with self._lock:
+                st = self.stats[dst]
+                st.recvs += n
+                st.bytes_received += nbytes
+        if _METRICS.enabled:
+            _METRICS.count("fabric.bytes_received", nbytes, rank=dst)
+
+    def wait_send_batch(self, entries: List[_SendEntry], rank: int) -> None:
+        """Await a batch of posted sends in one sweep.
+
+        Entries whose receives already drained cost one flag check each;
+        stragglers fall back to the polling wait of :meth:`wait_send`.
+        """
+        slow = [e for e in entries if not e.done.is_set()]
+        if not slow and not _TRACER.enabled:
+            return
+        timeout = self.timeout
+        poll = min(0.1, timeout / 10.0)
+        with _TRACER.span("fabric.send_wait", rank=rank, n=len(slow)):
+            deadline = time.monotonic() + timeout
+            for entry in slow:
+                while not entry.done.wait(timeout=poll):
+                    with self._lock:
+                        if self._failed:
+                            raise AbortedError(
+                                "another rank failed; abandoning send"
+                            )
+                    if time.monotonic() >= deadline:
+                        self.abort()
+                        raise DeadlockError(
+                            f"send unmatched after {timeout}s"
+                        )
+
     def wait_send(self, entry: _SendEntry) -> None:
         """Block until *entry* is consumed by its receiver.
 

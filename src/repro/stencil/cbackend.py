@@ -1,0 +1,275 @@
+"""Optional compiled (C) kernel backend for brick stencil plans.
+
+The planned NumPy path still makes three full passes over the halo batch
+per tap (gather via ``np.take``, multiply, add).  This module generates a
+fused C kernel per ``(stencil taps, brick shape, radius, field offset,
+brick elems)`` specialization -- gather, the unrolled tap loop and the
+scatter into destination bricks all happen in one pass per brick, reading
+straight from the plan's precomputed flat index table.
+
+Bit-exactness with the NumPy path is by construction:
+
+* identical tap order and operand order (``acc = c0*x0`` then
+  ``t = ci*xi; acc = acc + t`` per tap -- the scalar form of the plan
+  kernels' ``np.multiply(out=)`` / in-place ``np.add`` sequence);
+* ``-ffp-contract=off`` so no FMA contraction reorders roundings;
+* coefficients embedded as C99 hex float literals (exact bit patterns);
+* absent halo cells carry index ``-1`` in the plan table and contribute
+  ``coeff * 0.0``, exactly like the re-zeroed cells on the NumPy path.
+
+Backend selection (:func:`backend_choice`) honours the
+``REPRO_KERNEL_BACKEND`` environment variable: ``auto`` (default) uses C
+when ``cffi`` and a C compiler are available and falls back to NumPy
+silently; ``numpy`` forces the fallback; ``cffi`` demands the compiled
+backend and raises if it cannot be built.  Compiled kernels are stateless
+(all mutable state stays in caller-owned arrays), so the per-process
+module cache may hand the same kernel to every rank thread; calls release
+the GIL, so rank threads genuinely overlap inside the kernel.
+
+No build-system dependency: the generated translation unit is compiled
+with the system ``cc`` straight into a shared object and loaded through
+``cffi``'s ABI mode (``dlopen``), sidestepping setuptools entirely.
+"""
+
+from __future__ import annotations
+
+import atexit
+import math
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["backend_choice", "batch_step_kernel", "batch_step_source"]
+
+try:  # cffi ships with the baked toolchain, but stay importable without it
+    import cffi
+except ImportError:  # pragma: no cover - environment without cffi
+    cffi = None
+
+_lock = threading.Lock()
+_kernels: Dict[Tuple, Optional[Callable]] = {}
+_build_dirs: list = []
+
+
+def backend_choice() -> str:
+    """Resolve ``REPRO_KERNEL_BACKEND`` to ``auto``/``numpy``/``cffi``."""
+    choice = os.environ.get("REPRO_KERNEL_BACKEND", "auto").strip().lower()
+    if choice not in ("auto", "numpy", "cffi"):
+        raise ValueError(
+            f"REPRO_KERNEL_BACKEND={choice!r}: expected auto, numpy or cffi"
+        )
+    return choice
+
+
+def _compiler() -> Optional[str]:
+    return shutil.which("cc") or shutil.which("gcc")
+
+
+def _hexf(x: float) -> str:
+    """C99 hex float literal carrying the exact double bit pattern."""
+    return float(x).hex()
+
+
+def batch_step_source(
+    taps: Sequence[Tuple[Tuple[int, ...], float]],
+    np_bd: Tuple[int, ...],
+    radius: int,
+    field_offset: int,
+    brick_elems: int,
+) -> str:
+    """C source of the fused gather+stencil+scatter brick-batch kernel.
+
+    Signature: ``repro_step(src, dst, index, slots, nbricks)`` where
+    *src*/*dst* are the flat storage element arrays, *index* the plan's
+    ``(nbricks, halo...)`` flat source-index table and *slots* the
+    destination slot per brick.
+    """
+    ndim = len(np_bd)
+    halo_np = tuple(b + 2 * radius for b in np_bd)
+    halo_elems = int(math.prod(halo_np))
+    # Row-major strides of the halo box.
+    strides = [1] * ndim
+    for a in range(ndim - 2, -1, -1):
+        strides[a] = strides[a + 1] * halo_np[a + 1]
+
+    # Redundancy elimination across taps: the cell's centered halo
+    # position is computed once (``base``), every tap is a constant
+    # offset from it, and taps landing on the same halo cell share one
+    # load.  The per-tap arithmetic then degenerates to one load, one
+    # multiply, one add.
+    tap_offsets = []  # unique halo offsets, in first-use order
+    tap_terms = []  # (offset slot, coeff) per tap, in tap order
+    for off, coeff in taps:
+        off_np = tuple(reversed(off))
+        rel = sum(o * s for o, s in zip(off_np, strides))
+        if rel not in tap_offsets:
+            tap_offsets.append(rel)
+        tap_terms.append((tap_offsets.index(rel), coeff))
+
+    center = sum(radius * s for s in strides)
+    body = []
+    body.append("#include <stdint.h>")
+    body.append("")
+    body.append(
+        "void repro_step(const double *restrict src,"
+        " double *restrict dst,"
+    )
+    body.append(
+        "                const int64_t *restrict index,"
+        " const int64_t *restrict slots,"
+    )
+    body.append("                int64_t nbricks)")
+    body.append("{")
+    body.append("    int64_t b;")
+    body.append("    for (b = 0; b < nbricks; ++b) {")
+    body.append(f"        const int64_t *idx = index + b * {halo_elems};")
+    body.append(
+        f"        double *out = dst + slots[b] * {brick_elems}"
+        f" + {field_offset};"
+    )
+    indent = "        "
+    loop_vars = [f"i{a}" for a in range(ndim)]
+    for a in range(ndim):
+        body.append(
+            f"{indent}for (int64_t {loop_vars[a]} = 0;"
+            f" {loop_vars[a]} < {np_bd[a]}; ++{loop_vars[a]}) {{"
+        )
+        indent += "    "
+    base = " + ".join(f"{v} * {s}" for v, s in zip(loop_vars, strides))
+    body.append(f"{indent}const int64_t base = {base} + {center};")
+    for slot, rel in enumerate(tap_offsets):
+        body.append(f"{indent}const int64_t j{slot} = idx[base + ({rel})];")
+        body.append(
+            f"{indent}const double x{slot} ="
+            f" j{slot} < 0 ? 0.0 : src[j{slot}];"
+        )
+    slot0, c0 = tap_terms[0]
+    body.append(f"{indent}double acc = {_hexf(c0)} * x{slot0};")
+    if len(tap_terms) > 1:
+        body.append(f"{indent}double t;")
+        for slot, coeff in tap_terms[1:]:
+            body.append(f"{indent}t = {_hexf(coeff)} * x{slot};")
+            body.append(f"{indent}acc = acc + t;")
+    # Output cell in brick row-major order, matching the loop nest.
+    bstr = [1] * ndim
+    for a in range(ndim - 2, -1, -1):
+        bstr[a] = bstr[a + 1] * np_bd[a + 1]
+    cell = " + ".join(f"{v} * {s}" for v, s in zip(loop_vars, bstr))
+    body.append(f"{indent}out[{cell}] = acc;")
+    for a in range(ndim):
+        indent = indent[:-4]
+        body.append(f"{indent}}}")
+    body.append("    }")
+    body.append("}")
+    return "\n".join(body) + "\n"
+
+
+def _build(source: str) -> Optional[Callable]:
+    """Compile *source* into a loaded kernel; None when the toolchain
+    refuses (caller decides whether that is fatal)."""
+    if cffi is None:
+        return None
+    cc = _compiler()
+    if cc is None:
+        return None
+    workdir = tempfile.mkdtemp(prefix="repro-ckernel-")
+    _build_dirs.append(workdir)
+    c_path = os.path.join(workdir, "kernel.c")
+    so_path = os.path.join(workdir, "kernel.so")
+    with open(c_path, "w") as fh:
+        fh.write(source)
+    cmd = [
+        cc, "-O3", "-fPIC", "-shared", "-ffp-contract=off",
+        "-o", so_path, c_path,
+    ]
+    try:
+        subprocess.run(
+            cmd, check=True, capture_output=True, timeout=120
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    ffi = cffi.FFI()
+    ffi.cdef(
+        "void repro_step(const double *src, double *dst,"
+        " const int64_t *index, const int64_t *slots, int64_t nbricks);"
+    )
+    try:
+        lib = ffi.dlopen(so_path)
+    except OSError:
+        return None
+
+    def step(
+        src_data: np.ndarray,
+        dst_data: np.ndarray,
+        index: np.ndarray,
+        slots: np.ndarray,
+        _ffi=ffi,
+        _fn=lib.repro_step,
+    ) -> None:
+        _fn(
+            _ffi.cast("const double *", _ffi.from_buffer(src_data)),
+            _ffi.cast("double *", _ffi.from_buffer(dst_data)),
+            _ffi.cast("const int64_t *", _ffi.from_buffer(index)),
+            _ffi.cast("const int64_t *", _ffi.from_buffer(slots)),
+            len(slots),
+        )
+
+    step.__source__ = source
+    step.__lib__ = lib  # keep the dlopen handle alive with the kernel
+    return step
+
+
+@atexit.register
+def _cleanup() -> None:  # pragma: no cover - exit path
+    for d in _build_dirs:
+        shutil.rmtree(d, ignore_errors=True)
+
+
+def batch_step_kernel(
+    taps: Sequence[Tuple[Tuple[int, ...], float]],
+    np_bd: Tuple[int, ...],
+    radius: int,
+    field_offset: int,
+    brick_elems: int,
+    dtype: np.dtype,
+) -> Optional[Callable]:
+    """The fused C step kernel for this specialization, or ``None``.
+
+    ``None`` means "use the NumPy plan path": backend forced off, a
+    non-double dtype, or (under ``auto``) a missing/failing toolchain.
+    Compiled kernels are cached per specialization for the process.
+    """
+    choice = backend_choice()
+    if choice == "numpy":
+        return None
+    if np.dtype(dtype) != np.float64:
+        if choice == "cffi":
+            raise RuntimeError(
+                "REPRO_KERNEL_BACKEND=cffi supports float64 plans only"
+            )
+        return None
+    key = (
+        tuple(taps), tuple(np_bd), int(radius), int(field_offset),
+        int(brick_elems),
+    )
+    with _lock:
+        if key in _kernels:
+            fn = _kernels[key]
+        else:
+            source = batch_step_source(
+                taps, tuple(np_bd), radius, field_offset, brick_elems
+            )
+            fn = _build(source)
+            _kernels[key] = fn
+    if fn is None and choice == "cffi":
+        raise RuntimeError(
+            "REPRO_KERNEL_BACKEND=cffi but the compiled kernel backend is"
+            " unavailable (cffi or a C compiler is missing, or compilation"
+            " failed)"
+        )
+    return fn

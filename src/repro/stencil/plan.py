@@ -44,6 +44,7 @@ from repro.brick.info import BrickInfo, all_direction_vectors, direction_index
 from repro.brick.storage import BrickStorage
 from repro.obs import METRICS as _METRICS
 from repro.obs import TRACER as _TRACER
+from repro.stencil.cbackend import batch_step_kernel
 from repro.stencil.codegen import (
     generate_array_plan_kernel,
     generate_batch_plan_kernel,
@@ -98,6 +99,45 @@ def _margin_slices(d: int, bd: int, r: int) -> Tuple[slice, slice]:
     return slice(r + bd, bd + 2 * r), slice(0, r)
 
 
+# Per-(brick shape, radius) halo template maps, shared by every chunk and
+# every plan: for each flattened halo position, which of the 3^D adjacency
+# directions it reads from and the ravelled within-brick source offset.
+# Building these once turns per-chunk index-table construction from 3^D
+# meshgrid assemblies into two vectorized lookups -- the difference between
+# a ~77 ms and a ~2 ms plan compile per run (plans are rebuilt every run:
+# the BrickInfo that scopes the plan cache is itself rebuilt per rank).
+_halo_templates: Dict[Tuple, Tuple[np.ndarray, np.ndarray]] = {}
+
+
+def _halo_template(
+    bd: Tuple[int, ...], radius: int, ndim: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    key = (tuple(bd), int(radius))
+    tpl = _halo_templates.get(key)
+    if tpl is not None:
+        return tpl
+    np_bd = tuple(reversed(bd))
+    halo_np = tuple(b + 2 * radius for b in np_bd)
+    dir_map = np.empty(halo_np, dtype=np.int64)
+    within = np.empty(halo_np, dtype=np.int64)
+    for vec in all_direction_vectors(ndim):
+        if radius == 0 and any(vec):
+            continue
+        tgt_slices, src_slices = [], []
+        for axis in range(ndim - 1, -1, -1):  # numpy order: axis D first
+            t, s = _margin_slices(vec[axis], bd[axis], radius)
+            tgt_slices.append(t)
+            src_slices.append(s)
+        coords = np.meshgrid(
+            *(np.arange(s.start, s.stop) for s in src_slices), indexing="ij"
+        )
+        within[tuple(tgt_slices)] = np.ravel_multi_index(coords, np_bd)
+        dir_map[tuple(tgt_slices)] = direction_index(vec)
+    tpl = (dir_map.reshape(-1), within.reshape(-1))
+    _halo_templates[key] = tpl
+    return tpl
+
+
 def _build_gather_chunk(
     info: BrickInfo,
     slots: np.ndarray,
@@ -111,31 +151,18 @@ def _build_gather_chunk(
     np_bd = tuple(reversed(bd))
     halo_np = tuple(b + 2 * radius for b in np_bd)
     n = len(slots)
-    index = np.zeros((n,) + halo_np, dtype=np.int64)
-    present = np.zeros((n,) + halo_np, dtype=bool)
-    lead = (slice(None),)
-    for vec in all_direction_vectors(ndim):
-        if radius == 0 and any(vec):
-            continue
-        src = info.adjacency[slots, direction_index(vec)]
-        tgt_slices, src_slices = [], []
-        for axis in range(ndim - 1, -1, -1):  # numpy order: axis D first
-            t, s = _margin_slices(vec[axis], bd[axis], radius)
-            tgt_slices.append(t)
-            src_slices.append(s)
-        coords = np.meshgrid(
-            *(np.arange(s.start, s.stop) for s in src_slices), indexing="ij"
-        )
-        within = np.ravel_multi_index(coords, np_bd) + field_offset
-        rows = (-1,) + (1,) * ndim
-        index[lead + tuple(tgt_slices)] = (
-            src.reshape(rows) * brick_elems + within
-        )
-        present[lead + tuple(tgt_slices)] = (src >= 0).reshape(rows)
+    dir_map, within = _halo_template(bd, radius, ndim)
+    src = info.adjacency[slots][:, dir_map]  # (n, halo cells) source bricks
+    index = src * brick_elems
+    index += within + field_offset
     absent_flat: Optional[np.ndarray] = None
-    if not present.all():
-        absent_flat = np.flatnonzero(~present)
-        index.reshape(-1)[absent_flat] = 0  # any valid index; re-zeroed
+    mask = src < 0
+    if mask.any():
+        absent_flat = np.flatnonzero(mask)
+        # Sentinel -1: np.take reads the (re-zeroed) last element, the C
+        # backend branches to a 0.0 contribution directly.
+        index.reshape(-1)[absent_flat] = -1
+    index = np.ascontiguousarray(index.reshape((n,) + halo_np))
     # Contiguous slot batches scatter with one slice assignment.
     scatter: Union[slice, np.ndarray]
     if n and slots[-1] - slots[0] + 1 == n and np.all(np.diff(slots) == 1):
@@ -198,12 +225,21 @@ class BrickStencilPlan:
             )
             for lo in range(0, len(slots), chunk)
         ]
-        nmax = max((c.n for c in self.chunks), default=0)
-        halo_np = tuple(b + 2 * r for b in self._np_bd)
-        self._halo = np.zeros((nmax,) + halo_np, dtype=self.dtype)
-        self._acc = np.empty((nmax,) + self._np_bd, dtype=self.dtype)
-        self._tmp = np.empty_like(self._acc)
-        self._kernel = generate_batch_plan_kernel(spec, bd)
+        # Codegen seam: the fused C backend replaces the whole per-chunk
+        # gather/taps/scatter sequence when available (and allowed by
+        # REPRO_KERNEL_BACKEND); otherwise the NumPy plan path below runs
+        # with its persistent scratch.  Results are bit-identical.
+        self._ckernel = batch_step_kernel(
+            spec.taps, self._np_bd, r, self.field_offset, brick_elems,
+            self.dtype,
+        )
+        if self._ckernel is None:
+            nmax = max((c.n for c in self.chunks), default=0)
+            halo_np = tuple(b + 2 * r for b in self._np_bd)
+            self._halo = np.zeros((nmax,) + halo_np, dtype=self.dtype)
+            self._acc = np.empty((nmax,) + self._np_bd, dtype=self.dtype)
+            self._tmp = np.empty_like(self._acc)
+            self._kernel = generate_batch_plan_kernel(spec, bd)
 
     def _check_storage(self, storage: BrickStorage, role: str) -> None:
         if storage.brick_elems != self.brick_elems:
@@ -228,12 +264,22 @@ class BrickStencilPlan:
             raise ValueError("plans require distinct src and dst storages")
         self._check_storage(src, "src")
         self._check_storage(dst, "dst")
+        track = _METRICS.enabled
+        ck = self._ckernel
+        if ck is not None:
+            src_data, dst_data = src.data, dst.data
+            for ch in self.chunks:
+                if track:
+                    _METRICS.count(
+                        "plan.halo_cells_gathered", int(ch.index.size)
+                    )
+                ck(src_data, dst_data, ch.index, ch.slots)
+            return
         src_flat = src.data.reshape(-1)
         fo, vol = self.field_offset, self.volume
         dst_bricks = dst.data[:, fo : fo + vol].reshape(
             (dst.nslots,) + self._np_bd
         )
-        track = _METRICS.enabled
         for ch in self.chunks:
             n = ch.n
             halo = self._halo[:n]
