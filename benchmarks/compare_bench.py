@@ -10,8 +10,12 @@ executed run, same configuration as
 ``BENCH_chaos.json`` (seeded fault-injection soak; all keys are
 deterministic counts, compared exactly), ``BENCH_ckpt.json``
 (checkpoint snapshot bytes -- deterministic, exact -- plus save/restore
-wall-clock) and ``BENCH_e2e.json`` (whole-run executed speedup, plans on
-vs off, same configuration as :mod:`repro.bench.e2ebench`) -- and walks
+wall-clock), ``BENCH_e2e.json`` (whole-run executed speedup, plans on
+vs off, same configuration as :mod:`repro.bench.e2ebench`) and
+``BENCH_overlap.json`` (phased interior/surface overlap: executed
+bit-identity plus the modelled strong-scaling hidden-communication
+fractions, same configuration as :mod:`repro.bench.overlapbench`) -- and
+walks
 every baseline key, comparing by key shape:
 
 * absolute timings (leaf key or any ancestor key ending ``_s``): lower is
@@ -52,7 +56,7 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 #: baseline file stem -> measurement function name (resolved lazily so
 #: ``--fresh`` diffs need no importable repro package at all)
 SUITES = ("BENCH_plan", "BENCH_trace", "BENCH_chaos", "BENCH_ckpt",
-          "BENCH_e2e")
+          "BENCH_e2e", "BENCH_overlap")
 
 
 def _ensure_repro_importable() -> None:
@@ -250,12 +254,29 @@ def measure_e2e(quick: bool = False) -> Dict[str, Any]:
     return measure_e2e_stats(quick=quick)
 
 
+def measure_overlap(quick: bool = False) -> Dict[str, Any]:
+    """Re-measure ``BENCH_overlap.json``: phased overlap efficiency.
+
+    The executed arm's ``phased``/``bit_identical``/count keys and the
+    modelled arm's hidden fractions (pure deterministic arithmetic) are
+    exact-compared; only the executed wall-clock medians carry the
+    timing band.  ``hidden_fraction_gate`` pins the aggregate modelled
+    hidden-communication fraction above 0.5 on the strong-scaling
+    regime.  See :mod:`repro.bench.overlapbench`.
+    """
+    _ensure_repro_importable()
+    from repro.bench.overlapbench import measure_overlap_stats
+
+    return measure_overlap_stats(quick=quick)
+
+
 MEASURERS: Dict[str, Callable[[bool], Dict[str, Any]]] = {
     "BENCH_plan": measure_plan,
     "BENCH_trace": measure_trace,
     "BENCH_chaos": measure_chaos,
     "BENCH_ckpt": measure_ckpt,
     "BENCH_e2e": measure_e2e,
+    "BENCH_overlap": measure_overlap,
 }
 
 

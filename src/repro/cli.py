@@ -220,6 +220,45 @@ def _cmd_bench(args) -> int:
     return 0 if doc["bit_identical"] else 1
 
 
+def _cmd_bench_overlap(args) -> int:
+    import json
+
+    from repro.bench.overlapbench import measure_overlap_stats
+
+    stats = measure_overlap_stats(quick=args.quick)
+    out = args.json
+    if out:
+        with open(out, "w") as fh:
+            json.dump(stats, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {out}")
+    ex = stats["phased_layout"]
+    mod = stats["modelled_strong_scaling"]
+    print(
+        f"phased_layout ({ex['timesteps']} steps,"
+        f" {ex['interior_bricks_per_rank']}/{ex['bricks_per_rank']} interior"
+        f" bricks): phased={ex['phased']},"
+        f" bit_identical={ex['bit_identical']},"
+        f" hidden_comm_positive={ex['hidden_comm_positive']}"
+    )
+    for row in mod["scales"]:
+        print(
+            f"  {row['ranks']:>4} ranks: wait {row['wait_s'] * 1e3:7.3f}ms,"
+            f" interior {row['interior_calc_s'] * 1e3:7.3f}ms ->"
+            f" hidden {100 * row['hidden_fraction']:5.1f}%"
+        )
+    print(
+        f"modelled_strong_scaling aggregate hidden fraction:"
+        f" {mod['aggregate_hidden_fraction']:.3f}"
+        f" (gate > 0.5: {'pass' if mod['hidden_fraction_gate'] else 'FAIL'})"
+    )
+    ok = (
+        ex["phased"] and ex["bit_identical"]
+        and ex["hidden_comm_positive"] and mod["hidden_fraction_gate"]
+    )
+    return 0 if ok else 1
+
+
 def _cmd_advise(args) -> int:
     from repro.bench.advisor import advise, render_advice
 
@@ -458,6 +497,17 @@ def build_parser() -> argparse.ArgumentParser:
                     help="output JSON path (default BENCH_e2e.json;"
                          " '' to skip writing)")
     bp.set_defaults(fn=_cmd_bench)
+    bp = bsub.add_parser(
+        "overlap",
+        help="phased interior/surface overlap efficiency"
+             " (BENCH_overlap.json)",
+    )
+    bp.add_argument("--quick", action="store_true",
+                    help="fewer repetitions (same configuration)")
+    bp.add_argument("--json", metavar="PATH", default="BENCH_overlap.json",
+                    help="output JSON path (default BENCH_overlap.json;"
+                         " '' to skip writing)")
+    bp.set_defaults(fn=_cmd_bench_overlap)
 
     p = sub.add_parser("ckpt", help="checkpoint store maintenance")
     cksub = p.add_subparsers(dest="ckpt_cmd", required=True)

@@ -42,7 +42,7 @@ from repro.core.model import (
     _schedules,
 )
 from repro.core.problem import StencilProblem
-from repro.core.runplan import RankRunPlan, make_engines
+from repro.core.runplan import DEFAULT_PARTITIONS, RankRunPlan, make_engines
 from repro.ckpt import (
     CheckpointConfig,
     CheckpointError,
@@ -62,7 +62,9 @@ from repro.faults.plan import FaultPlan, RetryPolicy
 from repro.faults.runtime import FaultInjector
 from repro.obs import METRICS as _METRICS
 from repro.obs import TRACER as _TRACER
+from repro.exchange.base import ExchangeChannel
 from repro.exchange.brickpack import BrickPackExchanger
+from repro.exchange.costs import overlap_times
 from repro.exchange.layout_ex import LayoutExchanger
 from repro.exchange.memmap_ex import MemMapExchanger
 from repro.exchange.mpitypes import MPITypesExchanger
@@ -76,7 +78,9 @@ from repro.simmpi.launcher import run_spmd, run_spmd_restartable
 from repro.stencil.brick_kernels import apply_brick_stencil
 from repro.stencil.kernels import apply_array_stencil, owned_slices
 from repro.stencil.plan import (
+    compile_array_phase_plans,
     compile_array_plan,
+    compile_brick_phase_plans,
     compile_brick_plan,
     plans_enabled,
 )
@@ -105,6 +109,19 @@ class ExecutedRun:
     resumed_epoch: int = -1  # negotiated restore epoch (-1: from scratch)
     checkpoint_saves: int = 0  # snapshots committed by rank 0
     checkpoint_bytes: int = 0  # snapshot bytes written across all ranks
+    overlap: bool = False  # phased (interior/surface) execution ran
+    hidden_comm_s: float = 0.0  # modelled wait hidden behind interior calc
+
+    @property
+    def hidden_comm_fraction(self) -> float:
+        """Modelled fraction of wire wait hidden by interior compute.
+
+        Rank 0's run totals, like the message counters: hidden over
+        (hidden + still-visible wait).  Zero for unphased runs.
+        """
+        visible = self.metrics.ranks[0].totals.wait
+        total = self.hidden_comm_s + visible
+        return self.hidden_comm_s / total if total > 0.0 else 0.0
 
 
 def _make_exchanger(
@@ -245,11 +262,18 @@ def _modelled_totals(
     timesteps: int,
     period: int,
     computed_points: list,
-) -> TimeBreakdown:
+    overlap_points: Optional[int] = None,
+) -> Tuple[TimeBreakdown, float]:
     """Accumulate modelled time over a run with exchange period *period*.
 
     ``computed_points[pos]`` is the number of stencil points evaluated at
     cycle position *pos* (redundant computation included).
+
+    *overlap_points* (phased runs only) is the number of interior stencil
+    points computed while the exchange is in flight: the modelled wire
+    wait shrinks by the interior kernel time it hides behind, and the
+    hidden seconds are returned separately so the run can report an
+    overlap-efficiency figure.  Returns ``(totals, hidden_seconds)``.
     """
     ext = problem.subdomain_extent
     spec = problem.stencil
@@ -266,26 +290,40 @@ def _modelled_totals(
         )
         um_penalty = transport.compute_penalty(recvs)
 
+    interior_calc = (
+        compute_time(profile, info, int(overlap_points), spec)
+        if overlap_points is not None
+        else None
+    )
+
     # Per-cycle-position kernel times, priced once (the timing analogue
     # of the compiled execution plans: O(period) model evaluations, not
     # O(timesteps)).  Accumulation order is unchanged, so totals stay
     # bit-identical to the per-step evaluation.
     calc_table = compute_time_table(profile, info, computed_points, spec)
     totals = TimeBreakdown()
+    hidden_total = 0.0
     for t in range(timesteps):
         pos = t % period
         calc = calc_table[pos]
         if pos == 0:
             calc += um_penalty
             wait = exch.wait
-            if info.overlaps:
+            if interior_calc is not None:
+                # Phased execution: only the interior kernel time runs
+                # while the wire completes, so exactly that much wait is
+                # hidden (an explicit price, replacing the whole-calc
+                # discount the overlapping GPU methods model).
+                wait, hidden = overlap_times(wait, interior_calc)
+                hidden_total += hidden
+            elif info.overlaps:
                 wait = max(0.0, wait - calc)
             totals.charge("pack", exch.pack)
             totals.charge("call", exch.call)
             totals.charge("wait", wait)
             totals.charge("move", exch.move)
         totals.charge("calc", calc)
-    return totals
+    return totals, hidden_total
 
 
 def _ckpt_meta(
@@ -345,6 +383,7 @@ def _rank_fn(
     page_size: Optional[int],
     exchange_period,
     use_plans: bool,
+    overlap: bool = False,
     injector: Optional[FaultInjector] = None,
     envelope: bool = False,
     retry: Optional[RetryPolicy] = None,
@@ -426,18 +465,41 @@ def _rank_fn(
         # batched every step) wherever the method and fabric allow, the
         # per-message exchangers otherwise.  Plans off disables the whole
         # run-plan layer, channels included.
-        engines = make_engines(exchangers, plans is not None and not envelope)
-        if (
+        engines = make_engines(
+            exchangers,
+            plans is not None and not envelope,
+            DEFAULT_PARTITIONS if overlap else 1,
+        )
+        plain_path = (
             plans is not None
             and injector is None
             and cp is None
             and not envelope
             and not _TRACER.enabled
             and not _METRICS.enabled
+        )
+        # Phased (interior/surface) execution needs the plain fast path
+        # plus a channel on every slot; anything else -- featured runs,
+        # channel-less methods like Shift -- falls back to the unphased
+        # loop, exactly like featured runs fall off the run plan.
+        phase_split = None
+        if (
+            overlap
+            and plain_path
+            and all(isinstance(e, ExchangeChannel) for e in engines)
         ):
+            phase_split = compile_array_phase_plans(
+                spec, ext, g, margins[0], problem.dtype
+            )
+        overlap_points = (
+            (phase_split[0].cells if phase_split[0] is not None else 0)
+            if phase_split is not None
+            else None
+        )
+        if plain_path:
             # Plain fast path: replay the whole run through the compiled
             # rank plan with minimal per-step Python.
-            rp = RankRunPlan(engines, plans, arrays, period)
+            rp = RankRunPlan(engines, plans, arrays, period, phase_split)
             src = rp.run(start_step, timesteps, counters, timer)
         else:
             src, dst = 0, 1
@@ -581,8 +643,10 @@ def _rank_fn(
         # array branch).  Rebuilt on every ladder demotion below so the
         # replacement exchangers get channels too.
         channels_on = plans is not None and not envelope
-        engines = make_engines(exchangers, channels_on)
-        if (
+        engines = make_engines(
+            exchangers, channels_on, DEFAULT_PARTITIONS if overlap else 1
+        )
+        plain_path = (
             plans is not None
             and injector is None
             and cp is None
@@ -590,10 +654,31 @@ def _rank_fn(
             and not envelope
             and not _TRACER.enabled
             and not _METRICS.enabled
+        )
+        # Phased execution: see the array branch.  Interior bricks are
+        # the slots whose adjacency references no ghost-section slot.
+        phase_split = None
+        if (
+            overlap
+            and plain_path
+            and all(isinstance(e, ExchangeChannel) for e in engines)
         ):
+            phase_split = compile_brick_phase_plans(
+                spec, binfo, asn, cycle_slots[0], 0, problem.dtype
+            )
+        overlap_points = (
+            (
+                len(phase_split[0].slots) * decomp.brick_volume
+                if phase_split[0] is not None
+                else 0
+            )
+            if phase_split is not None
+            else None
+        )
+        if plain_path:
             # Plain fast path: replay the whole run through the compiled
             # rank plan with minimal per-step Python.
-            rp = RankRunPlan(engines, plans, storages, period)
+            rp = RankRunPlan(engines, plans, storages, period, phase_split)
             src = rp.run(start_step, timesteps, counters, timer)
         else:
             src, dst = 0, 1
@@ -700,8 +785,9 @@ def _rank_fn(
         for st in storages:
             st.close()
 
-    totals = _modelled_totals(
-        profile, info, problem, page_size, timesteps, period, computed_points
+    totals, hidden_s = _modelled_totals(
+        profile, info, problem, page_size, timesteps, period, computed_points,
+        overlap_points,
     )
     return {
         "coords": cart.coords,
@@ -714,6 +800,8 @@ def _rank_fn(
         "resumed_epoch": resumed_epoch,
         "ckpt_saves": cp.saves if cp is not None else 0,
         "ckpt_bytes": cp.saved_bytes if cp is not None else 0,
+        "overlap": phase_split is not None,
+        "hidden_s": hidden_s,
     }
 
 
@@ -745,6 +833,7 @@ def run_executed(
     page_size: Optional[int] = None,
     exchange_period=None,
     use_plans: Optional[bool] = None,
+    overlap: bool = False,
     fault_plan: Optional[FaultPlan] = None,
     verify_wire: bool = False,
     retry: Optional[RetryPolicy] = None,
@@ -768,6 +857,15 @@ def run_executed(
     (:mod:`repro.stencil.plan`) -- the default -- or force the generic
     kernels with ``False``.  ``None`` defers to the ``REPRO_NO_PLAN``
     environment variable.  Results are bit-identical either way.
+
+    *overlap*: phase each exchange step for compute-comm overlap --
+    start the partitioned persistent channel, compute the interior
+    stencil work while messages are in flight, complete the receives,
+    then sweep the surface.  Results are bit-identical to the unphased
+    path.  Requires the plain run-plan fast path and a channel-capable
+    method; featured runs (chaos, envelopes, checkpoints, tracing) and
+    channel-less methods fall back to the unphased instrumented loop,
+    reported via ``ExecutedRun.overlap``.
 
     Chaos-fabric knobs (see README "Robustness"):
 
@@ -853,6 +951,7 @@ def run_executed(
         page_size,
         exchange_period,
         plans_enabled(use_plans),
+        overlap,
         injector,
         envelope,
         retry,
@@ -925,4 +1024,6 @@ def run_executed(
         resumed_epoch=outs[0]["resumed_epoch"],
         checkpoint_saves=outs[0]["ckpt_saves"],
         checkpoint_bytes=sum(out["ckpt_bytes"] for out in outs),
+        overlap=outs[0]["overlap"],
+        hidden_comm_s=outs[0]["hidden_s"],
     )

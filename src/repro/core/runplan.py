@@ -32,15 +32,23 @@ buffers); build one per simulated rank, never share across threads.
 from __future__ import annotations
 
 import time
-from typing import Sequence
+from typing import Optional, Sequence, Tuple
 
-from repro.exchange.base import Exchanger
+from repro.exchange.base import ExchangeChannel, Exchanger
 from repro.util.timing import PhaseTimer
 
 __all__ = ["RankRunPlan", "make_engines"]
 
+#: Default per-message partition count of phased channels.  Any value
+#: works (partitions are equal byte splits released together by
+#: ``pready_all``); a handful keeps per-partition mailbox traffic cheap
+#: while still exercising genuinely partitioned transfer.
+DEFAULT_PARTITIONS = 4
 
-def make_engines(exchangers: Sequence[Exchanger], channels: bool) -> list:
+
+def make_engines(
+    exchangers: Sequence[Exchanger], channels: bool, partitions: int = 1
+) -> list:
     """The per-buffer exchange engines a run should fire each step.
 
     With *channels* true, every exchanger that can be replayed as a
@@ -48,11 +56,12 @@ def make_engines(exchangers: Sequence[Exchanger], channels: bool) -> list:
     rest (phased schemes like Shift, or any exchanger on a verified
     fabric) keep their per-step ``exchange()`` entry point.  Either way
     the returned objects expose the same ``exchange() -> ExchangeResult``
-    surface, so callers fire them interchangeably.
+    surface, so callers fire them interchangeably.  *partitions* is
+    forwarded to the channels for phased (start/complete) use.
     """
     if not channels:
         return list(exchangers)
-    return [ex.make_channel() or ex for ex in exchangers]
+    return [ex.make_channel(partitions) or ex for ex in exchangers]
 
 
 class RankRunPlan:
@@ -64,9 +73,19 @@ class RankRunPlan:
     ``buffers`` are the two storage/array operands the plans read and
     write.  :meth:`run` replays the program with minimal per-step Python
     and charges measured calc wall-clock in one sum at the end.
+
+    With *splits* -- an ``(interior plan, surface plan)`` pair replacing
+    ``plans[0]`` -- the exchange step runs *phased*: ``channel.start()``
+    (pack + release every send partition), interior stencil work while
+    the messages are in flight, ``channel.complete()`` (drain receives,
+    await send consumption, unpack), then the surface sweep that reads
+    the fresh ghost data.  Interior work reads no ghost cells by
+    construction, and interior + surface cover ``plans[0]`` exactly, so
+    phased replay is bit-identical to the unphased one.  Phased plans
+    require every engine to be an :class:`ExchangeChannel`.
     """
 
-    __slots__ = ("engines", "plans", "buffers", "period")
+    __slots__ = ("engines", "plans", "buffers", "period", "splits")
 
     def __init__(
         self,
@@ -74,15 +93,28 @@ class RankRunPlan:
         plans: Sequence,
         buffers: Sequence,
         period: int,
+        splits: Optional[Tuple] = None,
     ) -> None:
         if len(engines) != len(buffers):
             raise ValueError("one exchange engine per double-buffer slot")
         if len(plans) != period:
             raise ValueError("one stencil plan per cycle position")
+        if splits is not None:
+            if len(splits) != 2:
+                raise ValueError(
+                    "splits must be an (interior, surface) plan pair"
+                )
+            for eng in engines:
+                if not isinstance(eng, ExchangeChannel):
+                    raise ValueError(
+                        "phased replay requires exchange channels on every"
+                        " double-buffer slot"
+                    )
         self.engines = list(engines)
         self.plans = list(plans)
         self.buffers = list(buffers)
         self.period = int(period)
+        self.splits = tuple(splits) if splits is not None else None
 
     def run(
         self,
@@ -105,6 +137,8 @@ class RankRunPlan:
         plans = self.plans
         bufs = self.buffers
         period = self.period
+        splits = self.splits
+        interior, surface = splits if splits is not None else (None, None)
         perf = time.perf_counter
         src, dst = 0, 1
         msgs = wire = payload = 0
@@ -112,6 +146,26 @@ class RankRunPlan:
         for t in range(start_step, timesteps):
             pos = t % period
             if pos == 0:
+                if splits is not None:
+                    # Phased exchange step: interior taps run while the
+                    # partitioned messages are in flight; the surface
+                    # sweep waits for every receive partition.
+                    eng = engines[src]
+                    eng.start()
+                    if interior is not None:
+                        t0 = perf()
+                        interior.execute(bufs[src], bufs[dst])
+                        calc_s += perf() - t0
+                    res = eng.complete()
+                    if surface is not None:
+                        t0 = perf()
+                        surface.execute(bufs[src], bufs[dst])
+                        calc_s += perf() - t0
+                    msgs += res.messages_sent
+                    wire += res.wire_bytes_sent
+                    payload += res.payload_bytes_sent
+                    src, dst = dst, src
+                    continue
                 res = engines[src].exchange()
                 msgs += res.messages_sent
                 wire += res.wire_bytes_sent

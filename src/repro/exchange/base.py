@@ -71,11 +71,21 @@ class ExchangeChannel:
     Channels carry no wire-verification machinery: they are only built on
     an unverified fabric (the envelope/chaos path keeps the per-message
     protocol, whose sequence/CRC state lives in the fabric).
+
+    Beyond the bulk-synchronous :meth:`exchange`, a channel can run one
+    exchange *phased*: :meth:`start` packs (if the scheme packs), arms the
+    partitioned persistent requests and releases every send partition;
+    :meth:`complete` drains the receives, awaits send consumption and
+    unpacks.  The caller computes interior stencil work between the two
+    -- the compute-comm overlap the phased timestep is built on.  With
+    *partitions* > 1, each flattened buffer travels as that many
+    independently-released sub-region partitions (``Pready`` semantics).
     """
 
     __slots__ = ("comm", "method", "_fabric", "_rank", "_posts", "_recvs",
                  "_result", "_packed_bytes", "_pre", "_post", "_pre_span",
-                 "_post_span", "_nmsgs")
+                 "_post_span", "_nmsgs", "_partitions", "_psend", "_precv",
+                 "_inflight")
 
     def __init__(
         self,
@@ -89,12 +99,15 @@ class ExchangeChannel:
         post=None,
         pre_span: str = "exchange.pack",
         post_span: str = "exchange.unpack",
+        partitions: int = 1,
     ) -> None:
         if comm.fabric.envelope_enabled:
             raise ValueError(
                 "exchange channels require an unverified fabric; the"
                 " envelope protocol is per-message"
             )
+        if partitions < 1:
+            raise ValueError("partitions must be >= 1")
         for _, _, buf in list(posts) + list(recvs):
             if not buf.flags.c_contiguous:
                 raise ValueError("channel buffers must be C-contiguous")
@@ -111,9 +124,18 @@ class ExchangeChannel:
         self._pre_span = pre_span
         self._post_span = post_span
         self._nmsgs = len(self._posts)
+        self._partitions = int(partitions)
+        self._psend = None
+        self._precv = None
+        self._inflight = False
 
     def exchange(self) -> ExchangeResult:
         """Re-fire the negotiated plan; returns the precomputed result."""
+        if self._inflight:
+            raise RuntimeError(
+                "channel has a phased exchange in flight; complete() it"
+                " before exchanging"
+            )
         fabric = self._fabric
         rank = self._rank
         if self._pre is not None:
@@ -124,6 +146,55 @@ class ExchangeChannel:
         with _TRACER.span("exchange.wait", rank=rank, method=self.method):
             fabric.complete_recv_batch(rank, self._recvs)
             fabric.wait_send_batch(entries, rank)
+        if self._post is not None:
+            with _TRACER.span(self._post_span, rank=rank, method=self.method):
+                self._post()
+        if _METRICS.enabled:
+            _METRICS.count("exchange.bytes_packed", self._packed_bytes,
+                           rank=rank)
+            _METRICS.count("exchange.messages", self._nmsgs, rank=rank)
+        return self._result
+
+    # ------------------------------------------------------------------
+    # Phased exchange: start -> (caller's interior compute) -> complete
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Pack, arm the persistent partitioned requests, release sends.
+
+        Returns as soon as every send partition is on the wire; nothing
+        has been received yet.  The caller may compute any stencil work
+        that reads no ghost data before calling :meth:`complete`.
+        """
+        if self._inflight:
+            raise RuntimeError(
+                "channel already started; complete() the in-flight"
+                " exchange first"
+            )
+        rank = self._rank
+        if self._pre is not None:
+            with _TRACER.span(self._pre_span, rank=rank, method=self.method):
+                self._pre()
+        if self._psend is None:
+            # Negotiated lazily on first phased use: the same channel can
+            # serve bulk-synchronous runs without ever building requests.
+            fabric = self._fabric
+            self._psend = fabric.send_init(rank, self._posts, self._partitions)
+            self._precv = fabric.recv_init(rank, self._recvs, self._partitions)
+        with _TRACER.span("exchange.start", rank=rank, method=self.method):
+            self._precv.start()
+            self._psend.start()
+            self._psend.pready_all()
+        self._inflight = True
+
+    def complete(self) -> ExchangeResult:
+        """Drain every receive partition, await send consumption, unpack."""
+        if not self._inflight:
+            raise RuntimeError("complete() without a start()ed exchange")
+        rank = self._rank
+        with _TRACER.span("exchange.complete", rank=rank, method=self.method):
+            self._precv.complete()
+            self._psend.wait()
+        self._inflight = False
         if self._post is not None:
             with _TRACER.span(self._post_span, rank=rank, method=self.method):
                 self._post()
@@ -156,13 +227,26 @@ class Exchanger(abc.ABC):
     def send_specs(self) -> List[MessageSpec]:
         """The modelled send schedule of this rank."""
 
-    def make_channel(self) -> Optional[ExchangeChannel]:
+    def make_channel(self, partitions: int = 1) -> Optional[ExchangeChannel]:
         """Persistent-channel form of this exchanger's plan.
 
-        ``None`` (the default) means the scheme cannot be replayed as one
-        batch -- phased algorithms with intra-exchange barriers (Shift),
-        or a verified fabric -- and the caller keeps the per-step
-        :meth:`exchange` path.
+        ``None`` means the scheme cannot be replayed as one batch and the
+        caller keeps the per-step :meth:`exchange` path.  Verified
+        (envelope) fabrics are detected *here*, once, rather than
+        surfacing later as a batch-path ``RuntimeError`` from the fabric:
+        the envelope protocol is per-message, so channel negotiation
+        falls back cleanly regardless of the subclass.  *partitions* is
+        the per-message partition count phased exchanges will use.
+        """
+        if self.comm.fabric.envelope_enabled:
+            return None
+        return self._build_channel(int(partitions))
+
+    def _build_channel(self, partitions: int) -> Optional[ExchangeChannel]:
+        """Subclass hook: build the channel (fabric already vetted).
+
+        ``None`` (the default) marks schemes with intra-exchange barriers
+        (Shift) that cannot flatten into one persistent batch.
         """
         return None
 

@@ -187,9 +187,7 @@ class BrickPackExchanger(Exchanger):
             wire_bytes_sent=sum(m.wire_bytes for m in specs),
         )
 
-    def make_channel(self):
-        if self.comm.fabric.envelope_enabled:
-            return None
+    def _build_channel(self, partitions):
         plan = self._plan
         return ExchangeChannel(
             self.comm,
@@ -202,4 +200,5 @@ class BrickPackExchanger(Exchanger):
             ),
             pre=self._pack_sends,
             post=self._unpack_recvs,
+            partitions=partitions,
         )

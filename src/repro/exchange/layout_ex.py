@@ -179,9 +179,7 @@ class LayoutExchanger(Exchanger):
             wire_bytes_sent=sum(m.wire_bytes for m in send_specs),
         )
 
-    def make_channel(self):
-        if self.comm.fabric.envelope_enabled:
-            return None
+    def _build_channel(self, partitions):
         st = self.storage
         return ExchangeChannel(
             self.comm,
@@ -197,4 +195,5 @@ class LayoutExchanger(Exchanger):
                 for r in self._recvs
             ],
             result=self._model_result(),
+            partitions=partitions,
         )

@@ -230,9 +230,7 @@ class MemMapExchanger(Exchanger):
             wire_bytes_sent=sum(m.wire_bytes for m in send_specs),
         )
 
-    def make_channel(self):
-        if self.comm.fabric.envelope_enabled:
-            return None
+    def _build_channel(self, partitions):
         views = self.views
 
         def refresh() -> None:
@@ -253,6 +251,7 @@ class MemMapExchanger(Exchanger):
             post=flush,
             pre_span="exchange.sync",
             post_span="exchange.sync",
+            partitions=partitions,
         )
 
     def close(self) -> None:

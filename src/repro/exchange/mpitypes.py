@@ -141,9 +141,7 @@ class MPITypesExchanger(Exchanger):
             wire_bytes_sent=sent,
         )
 
-    def make_channel(self):
-        if self.comm.fabric.envelope_enabled:
-            return None
+    def _build_channel(self, partitions):
         arr = self.array
         plan = self._plan
         # Persistent wire buffers: the per-step path allocates a fresh
@@ -169,4 +167,5 @@ class MPITypesExchanger(Exchanger):
             packed_bytes=sum(p["recv_buf"].nbytes for p in plan) * 2,
             pre=pack,
             post=unpack,
+            partitions=partitions,
         )

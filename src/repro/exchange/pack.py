@@ -152,9 +152,7 @@ class PackExchanger(Exchanger):
             wire_bytes_sent=sent,
         )
 
-    def make_channel(self):
-        if self.comm.fabric.envelope_enabled:
-            return None
+    def _build_channel(self, partitions):
         arr = self.array
         plan = self._plan
 
@@ -177,4 +175,5 @@ class PackExchanger(Exchanger):
             ),
             pre=pack,
             post=unpack,
+            partitions=partitions,
         )

@@ -49,6 +49,9 @@ from repro.obs import TRACER as _TRACER
 __all__ = [
     "SimFabric",
     "FabricStats",
+    "PartitionedSendRequest",
+    "PartitionedRecvRequest",
+    "partition_tag",
     "DeadlockError",
     "AbortedError",
     "ExchangeIntegrityError",
@@ -94,6 +97,199 @@ class _SendEntry:
 
 class AbortedError(RuntimeError):
     """Another rank failed; this operation was abandoned."""
+
+
+#: Partition tags live above every plain exchange tag: exchange_tag() values
+#: are bounded by 3^ndim * 4096 (< 2^20), so shifting the partition index to
+#: bit 20 keeps the two tag spaces disjoint on the same mailbox.
+_PARTITION_TAG_BASE = 1 << 20
+
+
+def partition_tag(tag: int, part: int) -> int:
+    """Wire tag of partition *part* of a message with base tag *tag*."""
+    if not 0 <= tag < _PARTITION_TAG_BASE:
+        raise ValueError(
+            f"base tag {tag} collides with the partition tag space"
+        )
+    if part < 0:
+        raise ValueError("partition index cannot be negative")
+    return (part + 1) * _PARTITION_TAG_BASE + tag
+
+
+def _partition_views(buf: np.ndarray, partitions: int) -> List[np.ndarray]:
+    """Equal byte-count partitions of a flattened contiguous buffer.
+
+    Both endpoints compute the split independently from their own buffer;
+    the totals match (message sizes are negotiated), so splitting by bytes
+    keeps the two sides consistent even across dtype views.
+    """
+    flat = np.ascontiguousarray(buf).reshape(-1).view(np.uint8)
+    n = flat.size
+    k = max(1, min(int(partitions), n)) if n else 1
+    bounds = [(n * p) // k for p in range(k + 1)]
+    return [flat[bounds[p]: bounds[p + 1]] for p in range(k)]
+
+
+class PartitionedSendRequest:
+    """Persistent partitioned send (the ``MPI_Psend_init`` analogue).
+
+    Built once from a message plan by :meth:`SimFabric.send_init`; each
+    epoch is ``start()`` -> ``pready(msg, part)``/``pready_all()`` ->
+    ``wait()``.  ``start`` arms the epoch without touching the wire; a
+    partition hits the mailbox only when it is marked ready, so a producer
+    (e.g. the surface pack of a phased timestep) can release sub-regions
+    of each flattened channel buffer independently.
+    """
+
+    __slots__ = ("_fabric", "_src", "_msgs", "_entries", "_ready", "_started")
+
+    def __init__(self, fabric: "SimFabric", src: int, posts,
+                 partitions: int) -> None:
+        self._fabric = fabric
+        self._src = src
+        # _msgs[i] = list of (dst, wire tag, byte view) per partition.
+        self._msgs: List[List[Tuple[int, int, np.ndarray]]] = []
+        for dst, tag, buf in posts:
+            fabric._check_rank(dst)
+            views = _partition_views(buf, partitions)
+            self._msgs.append(
+                [(dst, partition_tag(tag, p), v) for p, v in enumerate(views)]
+            )
+        self._entries: List[_SendEntry] = []
+        self._ready: set = set()
+        self._started = False
+
+    @property
+    def partitions(self) -> List[int]:
+        """Partition count per message (clamped to the message's bytes)."""
+        return [len(parts) for parts in self._msgs]
+
+    def start(self) -> None:
+        """Arm a new epoch; every partition becomes not-ready."""
+        if self._started:
+            raise RuntimeError(
+                "partitioned send already started; wait() the previous"
+                " epoch first"
+            )
+        self._ready.clear()
+        self._entries = []
+        self._started = True
+
+    def _deposit(self, items: List[Tuple[int, int, np.ndarray]]) -> None:
+        fabric = self._fabric
+        src = self._src
+        entries = [(dst, tag, _SendEntry(view, src)) for dst, tag, view in items]
+        nbytes = sum(view.nbytes for _, _, view in items)
+        with fabric._lock:
+            boxes = fabric._mailboxes
+            for dst, tag, entry in entries:
+                boxes[(src, dst, tag)].append(entry)
+            st = fabric.stats[src]
+            st.sends += len(entries)
+            st.bytes_sent += nbytes
+            fabric._lock.notify_all()
+        if _METRICS.enabled:
+            _METRICS.count("fabric.messages", len(entries), rank=src)
+            _METRICS.count("fabric.wire_bytes", nbytes, rank=src)
+        self._entries.extend(e for _, _, e in entries)
+
+    def pready(self, msg: int, part: int) -> None:
+        """Mark one partition ready: its bytes go on the wire now."""
+        if not self._started:
+            raise RuntimeError("pready before start on a partitioned send")
+        dst, tag, view = self._msgs[msg][part]
+        if (msg, part) in self._ready:
+            raise RuntimeError(
+                f"partition ({msg}, {part}) already marked ready this epoch"
+            )
+        self._ready.add((msg, part))
+        self._deposit([(dst, tag, view)])
+
+    def pready_all(self) -> None:
+        """Mark every not-yet-ready partition ready in one lock round."""
+        if not self._started:
+            raise RuntimeError("pready before start on a partitioned send")
+        items = []
+        for m, parts in enumerate(self._msgs):
+            for p, item in enumerate(parts):
+                if (m, p) not in self._ready:
+                    self._ready.add((m, p))
+                    items.append(item)
+        if items:
+            self._deposit(items)
+
+    def wait(self) -> None:
+        """Complete the epoch: every ready partition consumed by its peer."""
+        if not self._started:
+            raise RuntimeError("wait before start on a partitioned send")
+        self._fabric.wait_send_batch(self._entries, self._src)
+        self._entries = []
+        self._started = False
+
+
+class PartitionedRecvRequest:
+    """Persistent partitioned receive (the ``MPI_Precv_init`` analogue).
+
+    Each epoch is ``start()`` -> optional ``parrived(msg, part)`` probes ->
+    ``complete()``, which drains every partition of every message in one
+    condition loop (copies outside the lock, like the batch path).
+    """
+
+    __slots__ = ("_fabric", "_dst", "_msgs", "_flat", "_drained", "_started")
+
+    def __init__(self, fabric: "SimFabric", dst: int, recvs,
+                 partitions: int) -> None:
+        self._fabric = fabric
+        self._dst = dst
+        self._msgs: List[List[Tuple[int, int, np.ndarray]]] = []
+        for src, tag, buf in recvs:
+            fabric._check_rank(src)
+            views = _partition_views(buf, partitions)
+            self._msgs.append(
+                [(src, partition_tag(tag, p), v) for p, v in enumerate(views)]
+            )
+        self._flat = [
+            (src, tag, view) for parts in self._msgs for src, tag, view in parts
+        ]
+        self._drained: set = set()
+        self._started = False
+
+    @property
+    def partitions(self) -> List[int]:
+        return [len(parts) for parts in self._msgs]
+
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError(
+                "partitioned receive already started; complete() the"
+                " previous epoch first"
+            )
+        self._drained.clear()
+        self._started = True
+
+    def parrived(self, msg: int, part: int) -> bool:
+        """Non-blocking: has this partition's transmission arrived?"""
+        if not self._started:
+            raise RuntimeError("parrived before start on a partitioned recv")
+        if (msg, part) in self._drained:
+            return True
+        src, tag, _view = self._msgs[msg][part]
+        fabric = self._fabric
+        with fabric._lock:
+            q = fabric._mailboxes.get((src, self._dst, tag))
+            return bool(q)
+
+    def complete(self) -> None:
+        """Block until every partition is delivered into its sub-view."""
+        if not self._started:
+            raise RuntimeError("complete before start on a partitioned recv")
+        self._fabric.complete_recv_batch(self._dst, self._flat)
+        self._drained.update(
+            (m, p)
+            for m, parts in enumerate(self._msgs)
+            for p in range(len(parts))
+        )
+        self._started = False
 
 
 class SimFabric:
@@ -386,6 +582,43 @@ class SimFabric:
                         raise DeadlockError(
                             f"send unmatched after {timeout}s"
                         )
+
+    # ------------------------------------------------------------------
+    # Partitioned persistent channels (MPI-4 ``Psend_init`` analogue)
+    #
+    # A request is negotiated once from a message plan and re-armed every
+    # exchange epoch; each flattened buffer is split into equal byte-count
+    # partitions that are marked ready -- and hit the wire -- independently.
+    # Partition traffic shares the mailbox with plain messages via a
+    # disjoint tag space (see ``partition_tag``).  Like the batch ops,
+    # partitioned requests refuse verified fabrics: the envelope protocol
+    # is strictly per-message.
+    # ------------------------------------------------------------------
+    def send_init(self, src: int, posts,
+                  partitions: int = 1) -> PartitionedSendRequest:
+        """Build a persistent partitioned send over ``(dst, tag, buf)``."""
+        self._check_rank(src)
+        if self._envelope:
+            raise RuntimeError(
+                "partitioned persistent sends are not available on a"
+                " verified fabric; use the per-message protocol"
+            )
+        if partitions < 1:
+            raise ValueError("partitions must be >= 1")
+        return PartitionedSendRequest(self, src, posts, partitions)
+
+    def recv_init(self, dst: int, recvs,
+                  partitions: int = 1) -> PartitionedRecvRequest:
+        """Build a persistent partitioned receive over ``(src, tag, buf)``."""
+        self._check_rank(dst)
+        if self._envelope:
+            raise RuntimeError(
+                "partitioned persistent receives are not available on a"
+                " verified fabric; use the per-message protocol"
+            )
+        if partitions < 1:
+            raise ValueError("partitions must be >= 1")
+        return PartitionedRecvRequest(self, dst, recvs, partitions)
 
     def wait_send(self, entry: _SendEntry) -> None:
         """Block until *entry* is consumed by its receiver.

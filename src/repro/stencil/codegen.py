@@ -28,16 +28,19 @@ __all__ = [
     "generate_batch_kernel",
     "generate_array_plan_kernel",
     "generate_batch_plan_kernel",
+    "generate_array_box_kernel",
     "array_kernel_source",
     "batch_kernel_source",
     "array_plan_kernel_source",
     "batch_plan_kernel_source",
+    "array_box_kernel_source",
 ]
 
 _array_cache: Dict[Tuple, Callable] = {}
 _batch_cache: Dict[Tuple, Callable] = {}
 _array_plan_cache: Dict[Tuple, Callable] = {}
 _batch_plan_cache: Dict[Tuple, Callable] = {}
+_array_box_cache: Dict[Tuple, Callable] = {}
 
 
 def _slice_expr(lo: int, length: int) -> str:
@@ -227,6 +230,74 @@ def generate_array_plan_kernel(
         fn = namespace["kernel"]
         fn.__source__ = src
         _array_plan_cache[key] = fn
+    return fn
+
+
+def array_box_kernel_source(
+    spec: StencilSpec,
+    extent: Sequence[int],
+    ghost: int,
+    box: Sequence[Tuple[int, int]],
+) -> str:
+    """Source of an in-place plan kernel over one explicit sub-box.
+
+    *box* is a per-numpy-axis ``(lo, hi)`` range in extended-array
+    coordinates.  Signature ``kernel(arr, out, tmp)`` with *tmp* shaped
+    like the box.  Same tap order and operand order as the full-region
+    plan kernel, so a disjoint box cover of the region computes every
+    cell bit-identically to one full-region sweep (cells are
+    independent).  This is what the interior/surface phase split
+    compiles to for array methods.
+    """
+    extent = tuple(int(e) for e in extent)
+    if spec.ndim != len(extent):
+        raise ValueError("stencil/extent dimensionality mismatch")
+    box = tuple((int(lo), int(hi)) for lo, hi in box)
+    if len(box) != spec.ndim:
+        raise ValueError("box/extent dimensionality mismatch")
+    r = spec.radius
+    for (lo, hi), e in zip(box, reversed(extent)):
+        if lo >= hi:
+            raise ValueError(f"empty box range ({lo}, {hi})")
+        if lo - r < 0 or hi + r > e + 2 * ghost:
+            raise ValueError(
+                f"box range ({lo}, {hi}) reads outside the extended array"
+            )
+
+    def slices_of(off):
+        return ", ".join(
+            _slice_expr(lo + o, hi - lo)
+            for (lo, hi), o in zip(box, reversed(off))
+        )
+
+    region = ", ".join(_slice_expr(lo, hi - lo) for lo, hi in box)
+    lines = [
+        "def kernel(arr, out, tmp):",
+        f"    # planned box: {spec.name} on extent {extent}, ghost {ghost},"
+        f" box {box}",
+        f"    acc = out[{region}]",
+    ]
+    lines += _plan_body(spec.taps, slices_of, "acc", "tmp", "arr")
+    return "\n".join(lines) + "\n"
+
+
+def generate_array_box_kernel(
+    spec: StencilSpec,
+    extent: Sequence[int],
+    ghost: int,
+    box: Sequence[Tuple[int, int]],
+) -> Callable[[np.ndarray, np.ndarray, np.ndarray], None]:
+    """Compile (and cache) the in-place sub-box plan kernel."""
+    box = tuple((int(lo), int(hi)) for lo, hi in box)
+    key = (spec.taps, tuple(extent), ghost, box)
+    fn = _array_box_cache.get(key)
+    if fn is None:
+        src = array_box_kernel_source(spec, extent, ghost, box)
+        namespace: Dict = {"np": np}
+        exec(compile(src, f"<stencil-box-{spec.name}>", "exec"), namespace)
+        fn = namespace["kernel"]
+        fn.__source__ = src
+        _array_box_cache[key] = fn
     return fn
 
 

@@ -46,6 +46,7 @@ from repro.obs import METRICS as _METRICS
 from repro.obs import TRACER as _TRACER
 from repro.stencil.cbackend import batch_step_kernel
 from repro.stencil.codegen import (
+    generate_array_box_kernel,
     generate_array_plan_kernel,
     generate_batch_plan_kernel,
 )
@@ -53,9 +54,15 @@ from repro.stencil.spec import StencilSpec
 
 __all__ = [
     "ArrayStencilPlan",
+    "ArrayRegionPlan",
     "BrickStencilPlan",
     "compile_array_plan",
     "compile_brick_plan",
+    "compile_array_phase_plans",
+    "compile_brick_phase_plans",
+    "split_array_region",
+    "split_brick_slots",
+    "ghost_slot_mask",
     "plans_enabled",
 ]
 
@@ -332,6 +339,184 @@ def compile_brick_plan(
     elif _METRICS.enabled:
         _METRICS.count("plan.cache_hits")
     return plan
+
+
+# ----------------------------------------------------------------------
+# Interior/surface phase split (compute-comm overlap)
+#
+# A phased timestep starts the exchange, computes every cell whose taps
+# read no exchanged ghost data while the messages are in flight, completes
+# the receives, then sweeps the rest.  The split below classifies compute
+# work by what it *reads*: a brick is interior when no adjacency neighbor
+# is a ghost-section slot; an array cell is interior when its stencil
+# footprint stays inside the owned box.  Interior and surface partitions
+# are disjoint and cover the unphased plan exactly, and each cell/brick is
+# computed by the same kernel with the same tap order either way, so
+# phased results are bit-identical to the unphased sweep.
+# ----------------------------------------------------------------------
+
+def split_brick_slots(
+    info: BrickInfo, ghost_mask: np.ndarray, slots: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Partition *slots* into ``(interior, surface)`` by ghost reads.
+
+    *ghost_mask* is a boolean array over storage slots, true for slots
+    belonging to ghost sections (see :func:`ghost_slot_mask`).  A slot
+    whose ``3^D`` adjacency row references any ghost slot -- including
+    itself, via the central direction -- is surface; absent neighbors
+    (adjacency ``-1``) read zeros the exchange never touches and do not
+    force a slot to surface.  Original slot order is preserved within
+    each part (plans chunk independently; per-brick results do not depend
+    on batch composition).
+    """
+    slots = np.asarray(slots, dtype=np.int64)
+    if len(slots) == 0:
+        return slots, slots
+    mask = np.asarray(ghost_mask, dtype=bool)
+    adj = info.adjacency[slots]
+    present = adj >= 0
+    reads_ghost = (mask[np.where(present, adj, 0)] & present).any(axis=1)
+    return slots[~reads_ghost], slots[reads_ghost]
+
+
+def ghost_slot_mask(assignment) -> np.ndarray:
+    """Boolean mask over storage slots: true for ghost-section slots."""
+    mask = np.zeros(assignment.total_slots, dtype=bool)
+    for s in assignment.sections:
+        if s.kind == "ghost" and s.nbricks:
+            mask[s.start: s.end] = True
+    return mask
+
+
+def compile_brick_phase_plans(
+    spec: StencilSpec,
+    info: BrickInfo,
+    assignment,
+    slots: np.ndarray,
+    field_offset: int = 0,
+    dtype=np.float64,
+) -> Tuple[Optional["BrickStencilPlan"], Optional["BrickStencilPlan"]]:
+    """``(interior plan, surface plan)`` for one cycle position's slots.
+
+    Either part may be ``None`` when empty (tiny subdomains have no
+    interior bricks; a neighborless rank has no surface).  Compiled
+    through :func:`compile_brick_plan`, so the sub-plans share the
+    per-geometry cache with the unphased plan.
+    """
+    interior, surface = split_brick_slots(info, ghost_slot_mask(assignment), slots)
+    return (
+        compile_brick_plan(spec, info, interior, field_offset, dtype)
+        if len(interior)
+        else None,
+        compile_brick_plan(spec, info, surface, field_offset, dtype)
+        if len(surface)
+        else None,
+    )
+
+
+def split_array_region(
+    extent: Sequence[int], ghost: int, margin: int, radius: int
+) -> Tuple[Optional[Tuple], List[Tuple]]:
+    """``(interior box, surface boxes)`` of one cycle-position region.
+
+    Boxes are per-numpy-axis ``(lo, hi)`` ranges in extended-array
+    coordinates.  The computed region is the owned box grown by *margin*;
+    the interior is the owned box shrunk by *radius* (the cells whose
+    taps stay inside owned data), and the surface shell is decomposed
+    into at most ``2 * ndim`` disjoint slabs (axis ``a``'s slabs span the
+    interior range on axes before ``a`` and the full region after it).
+    ``(None, [region])`` when the subdomain is too thin for any interior.
+    """
+    ext_np = tuple(int(e) for e in reversed(tuple(extent)))
+    lo = [ghost - margin] * len(ext_np)
+    hi = [ghost + e + margin for e in ext_np]
+    ilo = [ghost + radius] * len(ext_np)
+    ihi = [ghost + e - radius for e in ext_np]
+    region = tuple(zip(lo, hi))
+    if any(l >= h for l, h in zip(ilo, ihi)):
+        return None, [region]
+    boxes: List[Tuple] = []
+    for a in range(len(ext_np)):
+        for blo, bhi in ((lo[a], ilo[a]), (ihi[a], hi[a])):
+            if bhi <= blo:
+                continue
+            box = [
+                (ilo[j], ihi[j]) if j < a else (lo[j], hi[j])
+                for j in range(len(ext_np))
+            ]
+            box[a] = (blo, bhi)
+            boxes.append(tuple(box))
+    return tuple(zip(ilo, ihi)), boxes
+
+
+class ArrayRegionPlan:
+    """Compiled executor over explicit sub-boxes of an extended array.
+
+    The phase-split form of :class:`ArrayStencilPlan`: one in-place box
+    kernel (plus persistent box-shaped scratch) per sub-box.  Executing
+    the interior plan and then the surface plan over a disjoint cover
+    touches every region cell exactly once, bit-identically to the
+    full-region plan.
+    """
+
+    def __init__(
+        self,
+        spec: StencilSpec,
+        extent: Sequence[int],
+        ghost: int,
+        boxes: Sequence[Tuple],
+        dtype=np.float64,
+    ) -> None:
+        extent = tuple(int(e) for e in extent)
+        if not boxes:
+            raise ValueError("ArrayRegionPlan needs at least one box")
+        self.spec = spec
+        self.extent = extent
+        self.ghost = int(ghost)
+        self.dtype = np.dtype(dtype)
+        self._expected = tuple(e + 2 * ghost for e in reversed(extent))
+        self._steps = []
+        for box in boxes:
+            shape = tuple(hi - lo for lo, hi in box)
+            self._steps.append(
+                (
+                    generate_array_box_kernel(spec, extent, ghost, box),
+                    np.empty(shape, dtype=self.dtype),
+                )
+            )
+        self.cells = int(sum(np.prod([hi - lo for lo, hi in b]) for b in boxes))
+
+    def execute(self, arr: np.ndarray, out: np.ndarray) -> None:
+        """Apply the stencil over every planned box, reading *arr*."""
+        if arr is out:
+            raise ValueError("plans require distinct arr and out arrays")
+        if arr.shape != self._expected or out.shape != self._expected:
+            raise ValueError(
+                f"expected extended shape {self._expected},"
+                f" got {arr.shape} / {out.shape}"
+            )
+        for kernel, tmp in self._steps:
+            kernel(arr, out, tmp)
+
+
+def compile_array_phase_plans(
+    spec: StencilSpec,
+    extent: Sequence[int],
+    ghost: int,
+    margin: int = 0,
+    dtype=np.float64,
+) -> Tuple[Optional[ArrayRegionPlan], ArrayRegionPlan]:
+    """``(interior plan, surface plan)`` for one array cycle position."""
+    interior_box, surface_boxes = split_array_region(
+        extent, ghost, margin, spec.radius
+    )
+    interior = (
+        ArrayRegionPlan(spec, extent, ghost, [interior_box], dtype)
+        if interior_box is not None
+        else None
+    )
+    surface = ArrayRegionPlan(spec, extent, ghost, surface_boxes, dtype)
+    return interior, surface
 
 
 # ----------------------------------------------------------------------
