@@ -11,11 +11,13 @@ executed run, same configuration as
 deterministic counts, compared exactly), ``BENCH_ckpt.json``
 (checkpoint snapshot bytes -- deterministic, exact -- plus save/restore
 wall-clock), ``BENCH_e2e.json`` (whole-run executed speedup, plans on
-vs off, same configuration as :mod:`repro.bench.e2ebench`) and
+vs off, same configuration as :mod:`repro.bench.e2ebench`),
 ``BENCH_overlap.json`` (phased interior/surface overlap: executed
 bit-identity plus the modelled strong-scaling hidden-communication
-fractions, same configuration as :mod:`repro.bench.overlapbench`) -- and
-walks
+fractions, same configuration as :mod:`repro.bench.overlapbench`) and
+``BENCH_elastic.json`` (elastic restart: re-brick bytes and the
+end-to-end 8-to-6-rank recovery, all deterministic counts except the
+``rebrick_s`` timing; see :mod:`repro.elastic.bench`) -- and walks
 every baseline key, comparing by key shape:
 
 * absolute timings (leaf key or any ancestor key ending ``_s``): lower is
@@ -56,7 +58,7 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 #: baseline file stem -> measurement function name (resolved lazily so
 #: ``--fresh`` diffs need no importable repro package at all)
 SUITES = ("BENCH_plan", "BENCH_trace", "BENCH_chaos", "BENCH_ckpt",
-          "BENCH_e2e", "BENCH_overlap")
+          "BENCH_e2e", "BENCH_overlap", "BENCH_elastic")
 
 
 def _ensure_repro_importable() -> None:
@@ -270,6 +272,20 @@ def measure_overlap(quick: bool = False) -> Dict[str, Any]:
     return measure_overlap_stats(quick=quick)
 
 
+def measure_elastic(quick: bool = False) -> Dict[str, Any]:
+    """Re-measure ``BENCH_elastic.json``: elastic-restart behaviour.
+
+    The reshape plan, re-bricked byte count, negotiated epoch, reshape
+    count and bit-exactness flag are all deterministic (seeded workload,
+    pure placement function) and exact-compared; only ``rebrick_s``
+    carries the timing band.  See :mod:`repro.elastic.bench`.
+    """
+    _ensure_repro_importable()
+    from repro.elastic.bench import measure_elastic_stats
+
+    return measure_elastic_stats(quick=quick)
+
+
 MEASURERS: Dict[str, Callable[[bool], Dict[str, Any]]] = {
     "BENCH_plan": measure_plan,
     "BENCH_trace": measure_trace,
@@ -277,6 +293,7 @@ MEASURERS: Dict[str, Callable[[bool], Dict[str, Any]]] = {
     "BENCH_ckpt": measure_ckpt,
     "BENCH_e2e": measure_e2e,
     "BENCH_overlap": measure_overlap,
+    "BENCH_elastic": measure_elastic,
 }
 
 

@@ -20,6 +20,7 @@ from repro.ckpt.snapshot import (
     CheckpointConfig,
     ChunkSpec,
     DirtyTracker,
+    NoCommonEpochError,
     RankCheckpointer,
     negotiate_epoch,
     problem_key,
@@ -38,6 +39,7 @@ __all__ = [
     "CheckpointConfig",
     "ChunkSpec",
     "DirtyTracker",
+    "NoCommonEpochError",
     "RankCheckpointer",
     "negotiate_epoch",
     "problem_key",

@@ -35,11 +35,34 @@ __all__ = [
     "ChunkSpec",
     "storage_chunks",
     "DirtyTracker",
+    "NoCommonEpochError",
     "negotiate_epoch",
     "problem_key",
     "CheckpointConfig",
     "RankCheckpointer",
 ]
+
+
+class NoCommonEpochError(CheckpointError):
+    """No epoch is verified on *every* rank.
+
+    Carries ``newest_by_rank`` -- each rank's newest verified epoch (-1
+    for a rank with no verified snapshots at all) -- so the operator can
+    see exactly which rank is the odd one out instead of an opaque
+    failure.  Raised only when the caller opts in with
+    ``negotiate_epoch(..., required=True)``; the default contract keeps
+    returning -1 (the driver's cold-start path depends on it).
+    """
+
+    def __init__(self, newest_by_rank: Sequence[int]) -> None:
+        self.newest_by_rank = [int(e) for e in newest_by_rank]
+        detail = ", ".join(
+            f"rank {r}: {'none' if e < 0 else f'epoch {e}'}"
+            for r, e in enumerate(self.newest_by_rank)
+        )
+        super().__init__(
+            f"no common verified snapshot epoch; newest per rank: {detail}"
+        )
 
 
 @dataclass(frozen=True)
@@ -106,7 +129,9 @@ class DirtyTracker:
         ]
 
 
-def negotiate_epoch(comm, epochs: Iterable[int], allreduce: Callable) -> int:
+def negotiate_epoch(
+    comm, epochs: Iterable[int], allreduce: Callable, *, required: bool = False
+) -> int:
     """Agree on the newest epoch every rank can restore, or -1.
 
     Each rank contributes the set of epochs it holds *verified*
@@ -119,15 +144,30 @@ def negotiate_epoch(comm, epochs: Iterable[int], allreduce: Callable) -> int:
     proposal.  Candidates strictly decrease each round, so the loop
     terminates in at most ``len(epochs)`` + 1 rounds.
 
+    With ``required=True`` the no-common-epoch outcome raises
+    :class:`NoCommonEpochError` naming every rank's newest verified
+    epoch (collectively -- all ranks raise) instead of returning -1,
+    for callers that cannot proceed without a snapshot.  The default
+    keeps the -1 contract the driver's cold-start path relies on.
+
     *allreduce* is injected (the simmpi collective) so this module does
     not import the fabric.
     """
     mine = sorted(set(int(e) for e in epochs))
     cand = mine[-1] if mine else -1
     while True:
-        cand = int(allreduce(comm, np.asarray(cand, np.int64), np.minimum))
-        if cand < 0:
-            return -1
+        agreed_cand = int(allreduce(comm, np.asarray(cand, np.int64), np.minimum))
+        if agreed_cand < 0:
+            if not required:
+                return -1
+            # Collect each rank's newest epoch positionally: a vector
+            # with my newest in my slot, reduced with max, lands the
+            # full per-rank picture on every rank using only allreduce.
+            newest = np.full(comm.size, -2, dtype=np.int64)
+            newest[comm.rank] = mine[-1] if mine else -1
+            newest = allreduce(comm, newest, np.maximum)
+            raise NoCommonEpochError(newest.tolist())
+        cand = agreed_cand
         have = max((e for e in mine if e <= cand), default=-1)
         agreed = int(
             allreduce(comm, np.asarray(int(have == cand), np.int64), np.minimum)

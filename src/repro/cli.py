@@ -23,9 +23,10 @@ Commands
 ``chaos``
     Seeded fault-injection soak: corrupt/drop/duplicate/delay wire
     faults, scheduled rank crashes (with and without checkpoint-based
-    restart) and MemMap degradation, with a survival/detection report.
-    Exits nonzero on any silent corruption, unexpected error or failed
-    resume (the CI chaos jobs gate on this).
+    restart), permanent node loss with elastic reshape, and MemMap
+    degradation, with a survival/detection report.  Exits nonzero on
+    any silent corruption, unexpected error, failed resume or failed
+    reshape (the CI chaos jobs gate on this).
 ``ckpt``
     Checkpoint store maintenance: ``ls`` epochs and their global
     consistency, ``verify`` every chunk's CRC32 (nonzero exit on any
@@ -85,6 +86,20 @@ def _cmd_run(args) -> int:
 
     problem = _build_problem(args)
     stencil = problem.stencil
+    fault_plan = None
+    if getattr(args, "kill", None):
+        from repro.faults.plan import FaultPlan
+
+        deaths = []
+        for spec in args.kill:
+            rank_s, _, step_s = spec.partition(":")
+            try:
+                deaths.append((int(rank_s), int(step_s)))
+            except ValueError:
+                print(f"--kill wants RANK:STEP, got {spec!r}",
+                      file=sys.stderr)
+                return 2
+        fault_plan = FaultPlan(deaths=tuple(deaths))
     tracing = getattr(args, "trace", False)
     if tracing:
         obs.enable()
@@ -96,6 +111,8 @@ def _cmd_run(args) -> int:
             checkpoint_period=args.checkpoint_period,
             checkpoint_mode=args.checkpoint_mode,
             resume=args.resume,
+            fault_plan=fault_plan,
+            elastic=args.elastic,
         )
     finally:
         if tracing:
@@ -108,6 +125,13 @@ def _cmd_run(args) -> int:
         if run.resumed_epoch >= 0:
             line += f" (resumed from epoch {run.resumed_epoch})"
         print(line)
+    if run.reshapes:
+        print(
+            f"elastic: survived loss of rank(s)"
+            f" {', '.join(map(str, run.dead_ranks))} --"
+            f" {run.reshapes} reshape(s) onto rank dims"
+            f" {'x'.join(map(str, run.final_rank_dims))}"
+        )
     if tracing:
         out = getattr(args, "trace_out", None) or "trace.json"
         obs.write_chrome_trace(out, obs.TRACER, obs.METRICS)
@@ -257,6 +281,33 @@ def _cmd_bench_overlap(args) -> int:
         and ex["hidden_comm_positive"] and mod["hidden_fraction_gate"]
     )
     return 0 if ok else 1
+
+
+def _cmd_bench_elastic(args) -> int:
+    import json
+
+    from repro.elastic.bench import measure_elastic_stats
+
+    stats = measure_elastic_stats(quick=args.quick)
+    out = args.json
+    if out:
+        with open(out, "w") as fh:
+            json.dump(stats, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {out}")
+    rb, rn = stats["rebrick"], stats["run"]
+    print(
+        f"rebrick {rb['old_ranks']} -> {rb['new_ranks']} ranks"
+        f" (dims {'x'.join(map(str, rb['new_rank_dims']))}):"
+        f" epoch {rb['epoch']}, {rb['bytes_written']} bytes,"
+        f" best {rb['rebrick_s'] * 1e3:.1f}ms"
+    )
+    print(
+        f"elastic run: {rn['dead_ranks']} death(s), {rn['reshapes']}"
+        f" reshape(s) -> {rn['final_nranks']} ranks, resumed epoch"
+        f" {rn['resumed_epoch']}, bit_exact={bool(rn['exact'])}"
+    )
+    return 0 if rn["exact"] and rn["reshapes"] >= 1 else 1
 
 
 def _cmd_advise(args) -> int:
@@ -428,6 +479,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", action="store_true",
                    help="restore from the latest consistent epoch in"
                         " --checkpoint-dir before stepping")
+    p.add_argument("--elastic", action="store_true",
+                   help="survive permanent rank deaths by re-bricking the"
+                        " newest common snapshot epoch onto a shrunken"
+                        " decomposition (needs --checkpoint-dir)")
+    p.add_argument("--kill", metavar="RANK:STEP", action="append",
+                   default=None,
+                   help="schedule a permanent rank death (repeatable);"
+                        " pair with --elastic to exercise recovery")
     p.add_argument("--json", metavar="PATH",
                    help="also write the run summary as JSON")
     p.add_argument("--trace", action="store_true",
@@ -508,6 +567,17 @@ def build_parser() -> argparse.ArgumentParser:
                     help="output JSON path (default BENCH_overlap.json;"
                          " '' to skip writing)")
     bp.set_defaults(fn=_cmd_bench_overlap)
+    bp = bsub.add_parser(
+        "elastic",
+        help="re-brick cost + end-to-end elastic recovery"
+             " (BENCH_elastic.json)",
+    )
+    bp.add_argument("--quick", action="store_true",
+                    help="fewer repetitions (same configuration)")
+    bp.add_argument("--json", metavar="PATH", default="BENCH_elastic.json",
+                    help="output JSON path (default BENCH_elastic.json;"
+                         " '' to skip writing)")
+    bp.set_defaults(fn=_cmd_bench_elastic)
 
     p = sub.add_parser("ckpt", help="checkpoint store maintenance")
     cksub = p.add_subparsers(dest="ckpt_cmd", required=True)

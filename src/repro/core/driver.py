@@ -57,6 +57,7 @@ from repro.faults.errors import (
     ExchangeIntegrityError,
     ExchangeTimeoutError,
     InjectedCrashError,
+    RankDeadError,
 )
 from repro.faults.plan import FaultPlan, RetryPolicy
 from repro.faults.runtime import FaultInjector
@@ -111,6 +112,9 @@ class ExecutedRun:
     checkpoint_bytes: int = 0  # snapshot bytes written across all ranks
     overlap: bool = False  # phased (interior/surface) execution ran
     hidden_comm_s: float = 0.0  # modelled wait hidden behind interior calc
+    reshapes: int = 0  # elastic reshapes after permanent rank deaths
+    final_rank_dims: Tuple[int, ...] = ()  # decomposition the run ended on
+    dead_ranks: Tuple[int, ...] = ()  # old-world ranks lost permanently
 
     @property
     def hidden_comm_fraction(self) -> float:
@@ -409,7 +413,19 @@ def _rank_fn(
     rank = comm.rank
 
     def crash_check(t: int) -> None:
-        if injector is not None and injector.crash_due(rank, t):
+        if injector is None:
+            return
+        comm.fabric.heartbeat(rank)
+        if injector.death_due(rank, t):
+            # Permanent node loss, checked before the crash: death wins.
+            # Marking the fabric makes peers targeting this rank fail
+            # fast with the same typed error instead of timing out.
+            comm.fabric.mark_dead(rank)
+            raise RankDeadError(
+                f"rank {rank} died permanently at step {t} (scheduled by"
+                f" fault plan seed {injector.plan.seed})"
+            )
+        if injector.crash_due(rank, t):
             raise InjectedCrashError(
                 f"rank {rank} crashed at step {t} (scheduled by fault plan"
                 f" seed {injector.plan.seed})"
@@ -824,6 +840,73 @@ def _resolve_period(requested, available: int, granularity: str) -> int:
     return period
 
 
+def _elastic_reshape(
+    cur_problem: StencilProblem,
+    cur_ckpt: CheckpointConfig,
+    method: str,
+    info: MethodInfo,
+    profile: MachineProfile,
+    seed: int,
+    page_size: Optional[int],
+    exchange_period,
+    injector: FaultInjector,
+    topology,
+    n: int,
+):
+    """One elastic recovery round after a permanent rank death.
+
+    Plans the shrunken world, negotiates the newest epoch verified on
+    every old rank, re-bricks it into a fresh store under the old one
+    (``reshape<n>/``) and returns ``(new_problem, new_ckpt, dead)`` for
+    the relaunch.  No common epoch degrades to a from-scratch reshape:
+    the new world starts empty and recomputes -- still bit-exact.
+    Imported lazily: :mod:`repro.elastic` sits above this module.
+    """
+    from repro.elastic.rebrick import rebrick, resolved_period, snapshot_key
+    from repro.elastic.recovery import negotiate_recovery_epoch, plan_recovery
+
+    # Sweep every scheduled death into this reshape.  Which of several
+    # concurrently-dying ranks raises first is a thread race (the abort
+    # may beat the others to their death step), but the plan says all of
+    # them are gone: folding them in here keeps the event log, the
+    # survivor set and the reshape plan deterministic per seed.
+    for r, s in injector.plan.deaths:
+        injector.death_due(r, s)
+    dead = sorted({r for r, _ in injector.died()})
+    plan = plan_recovery(cur_problem, dead, topology, profile.network)
+    page = page_size or (
+        profile.gpu.page_size if info.is_gpu and profile.gpu else profile.page_size
+    )
+    period = resolved_period(cur_problem, method, exchange_period)
+    old_key = snapshot_key(cur_problem, method, seed, period, page)
+    epoch = negotiate_recovery_epoch(
+        cur_ckpt.store, cur_problem.nranks, len(plan.survivors), old_key
+    )
+    new_store = CheckpointStore(cur_ckpt.store.root / f"reshape{n}")
+    with _TRACER.span("elastic.reshape", epoch=epoch,
+                      new_nranks=plan.new_nranks):
+        if epoch >= 0:
+            rebrick(
+                cur_ckpt.store, cur_problem, epoch, new_store,
+                plan.new_problem, method=method, seed=seed,
+                exchange_period=exchange_period, page=page,
+            )
+    injector.record("reshaped", step=-1)
+    # The plan's death schedule names old-world ranks; after the reshape
+    # those nodes are excluded and ranks renumbered, so it is spent.
+    injector.deaths_disabled = True
+    if _METRICS.enabled:
+        _METRICS.count("elastic.reshapes", 1)
+        _METRICS.gauge("elastic.nranks", plan.new_nranks)
+    new_ckpt = CheckpointConfig(
+        store=new_store,
+        period=cur_ckpt.period,
+        mode=cur_ckpt.mode,
+        resume=epoch >= 0,
+    )
+    return plan.new_problem, new_ckpt, dead
+
+
 def run_executed(
     problem: StencilProblem,
     method: str,
@@ -844,6 +927,9 @@ def run_executed(
     checkpoint_mode: str = "incr",
     resume: bool = False,
     max_restarts: Optional[int] = None,
+    elastic: bool = False,
+    topology=None,
+    max_reshapes: Optional[int] = None,
 ) -> ExecutedRun:
     """Run the problem end-to-end on simulated ranks; see module docs.
 
@@ -896,6 +982,22 @@ def run_executed(
     continues bit-exactly.  *resume* restores from an existing store
     before the first step (cold restart).  *max_restarts* bounds the
     relaunches (default: the number of distinct scheduled crashes).
+
+    Elastic restart knobs (see README "Robustness" and DESIGN.md 10):
+
+    *elastic*: survive *permanent* rank deaths (``fault_plan.deaths``).
+    Requires a checkpoint store.  When a rank dies, the survivors agree
+    on a shrunken decomposition that avoids the failed nodes
+    (*topology*, a :class:`~repro.elastic.ClusterTopology`; default one
+    rank per node), negotiate the newest epoch verified on every old
+    rank, re-brick that epoch's snapshots onto the new decomposition and
+    relaunch.  With no common epoch the reshaped world recomputes from
+    the seeded initial state -- still bit-exact, just slower.
+    *max_reshapes* bounds reshape rounds (default: the number of
+    distinct scheduled deaths).  Elastic restart requires a periodic
+    problem (ghost shells are rebuilt by periodic wrap).  Without a
+    checkpoint store a death is still *detected* -- peers fail fast with
+    :class:`~repro.faults.RankDeadError` -- but not recovered.
     """
     if timesteps <= 0:
         raise ValueError("timesteps must be positive")
@@ -935,57 +1037,97 @@ def run_executed(
             if ckpt is not None and fault_plan is not None
             else 0
         )
-
-    def make_fabric() -> SimFabric:
-        fab = SimFabric(problem.nranks, timeout=fabric_timeout)
-        if envelope:
-            fab.enable_envelope(injector)
-        return fab
-
-    rank_args = (
-        problem,
-        method,
-        profile,
-        timesteps,
-        seed,
-        page_size,
-        exchange_period,
-        plans_enabled(use_plans),
-        overlap,
-        injector,
-        envelope,
-        retry,
-        degrade,
-        ckpt,
-    )
-    if ckpt is not None and max_restarts > 0:
-
-        def on_restart(n: int, cause) -> None:
-            ckpt.resume = True
-            if injector is not None:
-                injector.record("restarted", step=-1)
-            if _METRICS.enabled:
-                _METRICS.count("ckpt.restarts", 1)
-
-        outs, fabric, restarts = run_spmd_restartable(
-            problem.nranks,
-            _rank_fn,
-            *rank_args,
-            make_fabric=make_fabric,
-            max_restarts=max_restarts,
-            should_restart=lambda c: isinstance(c, InjectedCrashError),
-            on_restart=on_restart,
+    if max_reshapes is None:
+        max_reshapes = (
+            len({r for r, _ in fault_plan.deaths})
+            if elastic and fault_plan is not None
+            else 0
         )
-    else:
-        fabric = make_fabric()
-        restarts = 0
-        outs = run_spmd(problem.nranks, _rank_fn, *rank_args, fabric=fabric)
+
+    cur_problem = problem
+    cur_ckpt = ckpt
+    reshapes = 0
+    restarts = 0
+    dead_total: List[int] = []
+
+    while True:
+
+        def make_fabric() -> SimFabric:
+            fab = SimFabric(cur_problem.nranks, timeout=fabric_timeout)
+            if envelope:
+                fab.enable_envelope(injector)
+            return fab
+
+        rank_args = (
+            cur_problem,
+            method,
+            profile,
+            timesteps,
+            seed,
+            page_size,
+            exchange_period,
+            plans_enabled(use_plans),
+            overlap,
+            injector,
+            envelope,
+            retry,
+            degrade,
+            cur_ckpt,
+        )
+        try:
+            if cur_ckpt is not None and max_restarts > 0:
+
+                def on_restart(n: int, cause, _ck=cur_ckpt) -> None:
+                    _ck.resume = True
+                    if injector is not None:
+                        injector.record("restarted", step=-1)
+                    if _METRICS.enabled:
+                        _METRICS.count("ckpt.restarts", 1)
+
+                outs, fabric, n_restarts = run_spmd_restartable(
+                    cur_problem.nranks,
+                    _rank_fn,
+                    *rank_args,
+                    make_fabric=make_fabric,
+                    max_restarts=max_restarts,
+                    should_restart=lambda c: isinstance(c, InjectedCrashError),
+                    on_restart=on_restart,
+                )
+            else:
+                fabric = make_fabric()
+                n_restarts = 0
+                outs = run_spmd(
+                    cur_problem.nranks, _rank_fn, *rank_args, fabric=fabric
+                )
+            restarts += n_restarts
+            break
+        except RuntimeError as err:
+            # Elastic recovery: a *permanent* death is never restartable
+            # in place -- the node is gone.  Reshape onto the survivors
+            # and relaunch; anything else propagates unchanged.
+            recoverable = (
+                elastic
+                and cur_ckpt is not None
+                and injector is not None
+                and reshapes < max_reshapes
+                and isinstance(err.__cause__, RankDeadError)
+                and injector.died()
+            )
+            if not recoverable:
+                raise
+            cur_problem, cur_ckpt, newly_dead = _elastic_reshape(
+                cur_problem, cur_ckpt, method, info, profile, seed,
+                page_size, exchange_period, injector, topology,
+                reshapes + 1,
+            )
+            dead_total.extend(newly_dead)
+            reshapes += 1
 
     global_result = np.empty(
-        tuple(reversed(problem.global_extent)), dtype=problem.dtype
+        tuple(reversed(cur_problem.global_extent)), dtype=cur_problem.dtype
     )
     for out in outs:
-        global_result[problem.owned_slices(out["coords"])] = out["result"]
+        global_result[cur_problem.owned_slices(out["coords"])] = out["result"]
 
     ranks = [
         RankMetrics(
@@ -998,8 +1140,8 @@ def run_executed(
     ]
     metrics = RunMetrics(
         method=method,
-        points_per_rank=problem.points_per_rank,
-        nranks=problem.nranks,
+        points_per_rank=cur_problem.points_per_rank,
+        nranks=cur_problem.nranks,
         timesteps=timesteps,
         ranks=ranks,
     )
@@ -1026,4 +1168,7 @@ def run_executed(
         checkpoint_bytes=sum(out["ckpt_bytes"] for out in outs),
         overlap=outs[0]["overlap"],
         hidden_comm_s=outs[0]["hidden_s"],
+        reshapes=reshapes,
+        final_rank_dims=tuple(cur_problem.rank_dims),
+        dead_ranks=tuple(sorted(set(dead_total))),
     )

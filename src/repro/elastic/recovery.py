@@ -1,0 +1,134 @@
+"""Recovery coordination: from detected rank death to a relaunchable world.
+
+The protocol (DESIGN.md Section 10) runs in four deterministic stages:
+
+1. **Detection** -- the fabric's liveness state plus the fault injector's
+   fired-death log identify exactly which ranks are permanently gone.
+2. **Membership agreement** -- :func:`plan_recovery` maps dead ranks to
+   failed nodes through the :class:`~repro.elastic.placement.ClusterTopology`,
+   drops every co-located rank, and picks the best new decomposition for
+   the survivor count under the machine's network model.  Pure function
+   of (dead set, topology, problem), so every survivor agrees without a
+   vote.
+3. **Epoch negotiation** -- :func:`negotiate_recovery_epoch` runs the
+   *real* :func:`~repro.ckpt.negotiate_epoch` allreduce protocol over a
+   survivor-sized SPMD world: the old ranks' verified-epoch sets are
+   sharded across survivors, each contributing the intersection of its
+   shard, so the agreed epoch is verified on **all** N old ranks (the
+   re-brick needs every shard of the global field).
+4. **Re-brick** -- :func:`~repro.elastic.rebrick.rebrick` materializes
+   the agreed epoch for the new decomposition; the relaunched world
+   resumes through the ordinary checkpoint restore.
+
+No common epoch is not fatal: the plan degrades to a from-scratch
+reshape (the new world recomputes from the seeded initial condition),
+which is still bit-exact -- just slower.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.ckpt import CheckpointStore, NoCommonEpochError, negotiate_epoch
+from repro.core.problem import StencilProblem
+from repro.elastic.placement import ClusterTopology, choose_rank_dims
+from repro.simmpi.collectives import allreduce
+from repro.simmpi.launcher import run_spmd
+
+__all__ = ["RecoveryPlan", "plan_recovery", "negotiate_recovery_epoch"]
+
+
+@dataclass(frozen=True)
+class RecoveryPlan:
+    """The agreed shape of the world after a permanent rank loss."""
+
+    dead_ranks: Tuple[int, ...]
+    failed_nodes: Tuple[int, ...]
+    survivors: Tuple[int, ...]  # old-world ranks still usable
+    new_rank_dims: Tuple[int, ...]
+    new_problem: StencilProblem
+
+    @property
+    def new_nranks(self) -> int:
+        return self.new_problem.nranks
+
+
+def plan_recovery(
+    problem: StencilProblem,
+    dead_ranks,
+    topology: Optional[ClusterTopology],
+    network,
+) -> RecoveryPlan:
+    """Agree on the reshaped world; deterministic, communication-free."""
+    dead = tuple(sorted({int(r) for r in dead_ranks}))
+    if not dead:
+        raise ValueError("recovery planning needs at least one dead rank")
+    topo = topology or ClusterTopology()
+    survivors = tuple(topo.surviving_ranks(problem.nranks, dead))
+    if not survivors:
+        raise ValueError(
+            f"no survivors: deaths {dead} took out every node"
+        )
+    new_dims = choose_rank_dims(problem, len(survivors), network)
+    new_problem = StencilProblem(
+        global_extent=problem.global_extent,
+        rank_dims=new_dims,
+        stencil=problem.stencil,
+        brick_dim=problem.brick_dim,
+        ghost=problem.ghost,
+        layout=problem.layout,
+        dtype=problem.dtype,
+        periodic=problem.periodic,
+    )
+    return RecoveryPlan(
+        dead_ranks=dead,
+        failed_nodes=tuple(topo.failed_nodes(dead)),
+        survivors=survivors,
+        new_rank_dims=tuple(new_dims),
+        new_problem=new_problem,
+    )
+
+
+def negotiate_recovery_epoch(
+    store: CheckpointStore,
+    old_nranks: int,
+    n_survivors: int,
+    problem_key: str,
+    *,
+    required: bool = False,
+) -> int:
+    """Newest epoch verified on every old rank, agreed by the survivors.
+
+    Shards the old ranks round-robin across an ``n_survivors``-rank SPMD
+    world; each survivor contributes the *intersection* of its shard's
+    verified-epoch sets, and the standard
+    :func:`~repro.ckpt.negotiate_epoch` descent finds the newest epoch
+    common to all shards -- hence to all N old ranks.  Returns -1 when
+    no such epoch exists (``required=True`` raises
+    :class:`~repro.ckpt.NoCommonEpochError` instead, with the shard
+    maxima standing in per survivor).
+    """
+    if old_nranks <= 0 or n_survivors <= 0:
+        raise ValueError("rank counts must be positive")
+    n_survivors = min(n_survivors, old_nranks)
+    shards: List[List[int]] = [[] for _ in range(n_survivors)]
+    for old_rank in range(old_nranks):
+        shards[old_rank % n_survivors].append(old_rank)
+
+    def _rank_fn(comm):
+        sets = [
+            set(store.verified_epochs(r, problem_key))
+            for r in shards[comm.rank]
+        ]
+        mine = sorted(set.intersection(*sets)) if sets else []
+        return negotiate_epoch(comm, mine, allreduce, required=required)
+
+    try:
+        return int(run_spmd(n_survivors, _rank_fn)[0])
+    except RuntimeError as err:
+        # Every survivor raises collectively; surface the typed error,
+        # not the launcher's per-rank wrapper.
+        if isinstance(err.__cause__, NoCommonEpochError):
+            raise err.__cause__ from None
+        raise

@@ -9,6 +9,7 @@ from repro.faults.errors import (
     ExchangeTimeoutError,
     FaultError,
     InjectedCrashError,
+    RankDeadError,
 )
 from repro.faults.plan import FaultPlan, RetryPolicy
 from repro.faults.runtime import VMEM_FAULTS, FaultEvent, FaultInjector, FaultPoints
@@ -18,6 +19,7 @@ __all__ = [
     "ExchangeIntegrityError",
     "ExchangeTimeoutError",
     "InjectedCrashError",
+    "RankDeadError",
     "FaultPlan",
     "RetryPolicy",
     "FaultEvent",

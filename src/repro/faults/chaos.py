@@ -25,6 +25,14 @@ the small reference problem end-to-end, and classifies the outcome:
     from the latest consistent epoch and finish bit-identical to the
     reference (``resumed_exact``); anything else -- no restart, a wrong
     answer, or an exception -- is ``resume_failed`` and gated to zero.
+``reshaped_exact`` / ``reshape_failed``
+    Outcomes of the ``node_loss`` preset, which kills two ranks
+    *permanently* mid-run.  With a checkpoint store the elastic driver
+    must reshape onto the survivors and finish bit-identical to the
+    reference (``reshaped_exact``).  Without a store the loss must
+    still be *detected* -- a typed ``RankDeadError`` root cause, never
+    a hang -- classified as ``detected``.  ``reshape_failed`` is gated
+    to zero.
 
 Shift is excluded from the soak: its per-axis barrier phases make a
 whole-exchange retry unsafe (peers may already sit at a later barrier),
@@ -62,13 +70,15 @@ PRESETS: Dict[str, dict] = {
     "crash": {},
     "degrade": {},
     "crash_restart": {},
+    "node_loss": {},
 }
 
-# crash_restart is appended last on purpose: for index < 7 the preset
-# cycle is unchanged, so committed BENCH_chaos baselines (7 trials) and
-# existing seeded soaks keep their exact event sets.
+# crash_restart and node_loss are appended last on purpose: for
+# index < 7 the preset cycle is unchanged, so committed BENCH_chaos
+# baselines (7 trials) and existing seeded soaks keep their exact
+# event sets.
 _PRESET_ORDER = ("corrupt", "drop", "mixed", "duplicate", "degrade", "crash",
-                 "delay", "crash_restart")
+                 "delay", "crash_restart", "node_loss")
 
 
 @dataclass(frozen=True)
@@ -126,12 +136,17 @@ class SoakReport:
         return self.counts().get("resume_failed", 0)
 
     @property
+    def reshape_failed(self) -> int:
+        return self.counts().get("reshape_failed", 0)
+
+    @property
     def passed(self) -> bool:
         """The chaos contract: every fault detected or healed, none
-        silent, and every survivable crash resumed bit-exactly."""
+        silent, every survivable crash resumed bit-exactly, and every
+        permanent rank loss either reshaped bit-exactly or detected."""
         return (
             self.silent == 0 and self.unexpected == 0
-            and self.resume_failed == 0
+            and self.resume_failed == 0 and self.reshape_failed == 0
         )
 
     def to_literal(self) -> dict:
@@ -164,7 +179,8 @@ class SoakReport:
             if self.passed
             else f"FAIL: {self.silent} silent corruption(s),"
                  f" {self.unexpected} unexpected error(s),"
-                 f" {self.resume_failed} failed resume(s)"
+                 f" {self.resume_failed} failed resume(s),"
+                 f" {self.reshape_failed} failed reshape(s)"
         )
         return "\n".join(lines)
 
@@ -194,20 +210,38 @@ def _trial_plan(config: ChaosConfig, index: int, nranks: int,
         kwargs["crashes"] = ((1 + (seed % (nranks - 1)), config.steps // 2),)
     elif preset == "degrade":
         kwargs["degrade"] = ((seed % nranks, 1),)
+    elif preset == "node_loss":
+        # Two distinct non-root ranks die permanently, late enough that
+        # longer soaks have committed a common epoch to re-brick.
+        step = max(1, (2 * config.steps) // 3)
+        others = list(range(1, nranks))
+        first = others.pop(seed % len(others))
+        second = others[seed % len(others)]
+        kwargs["deaths"] = ((first, step), (second, step))
     return FaultPlan(seed=seed, **kwargs)
 
 
-def _run_trial(problem, reference, config: ChaosConfig, index: int):
+def _run_trial(problem, reference, config: ChaosConfig, index: int,
+               elastic_problem=None, elastic_reference=None):
     """One chaos trial; returns a :class:`TrialResult`."""
     from repro.core.driver import run_executed
 
     preset = config.presets[index % len(config.presets)]
-    method = (
-        "memmap"
-        if preset == "degrade"
-        else _SOAK_METHODS[index % len(_SOAK_METHODS)]
-    )
+    if preset == "node_loss" and elastic_problem is not None:
+        # The reshape needs a global extent that also factorizes for
+        # the shrunken rank count; the cubical soak problem does not.
+        problem, reference = elastic_problem, elastic_reference
+    if preset == "degrade":
+        method = "memmap"
+    elif preset == "node_loss":
+        # Elastic restart covers the brick methods (re-bricking is the
+        # point); alternate with/without a store so the soak exercises
+        # both the reshape and the detect-only contract.
+        method = ("layout", "memmap", "basic")[index % 3]
+    else:
+        method = _SOAK_METHODS[index % len(_SOAK_METHODS)]
     plan = _trial_plan(config, index, problem.nranks, preset)
+    with_store = preset == "node_loss" and plan.seed % 2 == 0
     result = TrialResult(
         index=index, preset=preset, method=method, seed=plan.seed, outcome=""
     )
@@ -223,6 +257,13 @@ def _run_trial(problem, reference, config: ChaosConfig, index: int):
                     fault_plan=plan, fabric_timeout=config.timeout_s,
                     checkpoint_dir=d, checkpoint_period=1,
                 )
+        if with_store:
+            with tempfile.TemporaryDirectory(prefix="repro-ckpt-") as d:
+                return run_executed(
+                    problem, method, timesteps=config.steps, seed=0,
+                    fault_plan=plan, fabric_timeout=config.timeout_s,
+                    checkpoint_dir=d, checkpoint_period=1, elastic=True,
+                )
         return run_executed(
             problem, method, timesteps=config.steps, seed=0,
             fault_plan=plan, fabric_timeout=config.timeout_s,
@@ -235,6 +276,12 @@ def _run_trial(problem, reference, config: ChaosConfig, index: int):
             # With a checkpoint store attached the scheduled crash is
             # supposed to be survived; any escape is a failed resume.
             result.outcome = "resume_failed"
+            result.error = f"{type(exc).__name__}: {exc}"
+            return result
+        if with_store:
+            # With a store attached the permanent loss is supposed to
+            # be reshaped around; any escape is a failed reshape.
+            result.outcome = "reshape_failed"
             result.error = f"{type(exc).__name__}: {exc}"
             return result
         result.outcome = (
@@ -264,16 +311,31 @@ def _run_trial(problem, reference, config: ChaosConfig, index: int):
         result.outcome = "resume_failed"
         result.error = "scheduled crash did not trigger a restart"
         return result
+    if preset == "node_loss" and not with_store:
+        # Without snapshots a permanent death cannot be survived; a
+        # "successful" run means detection never happened.
+        result.outcome = "unexpected_error"
+        result.error = "scheduled permanent death did not fail the run"
+        return result
+    if with_store and run.reshapes < 1:
+        result.outcome = "reshape_failed"
+        result.error = "scheduled permanent death did not trigger a reshape"
+        return result
     if not np.array_equal(run.global_result, reference):
         result.outcome = (
             "resume_failed"
             if preset == "crash_restart"
+            else "reshape_failed"
+            if with_store
             else "silent_corruption"
         )
         return result
-    result.outcome = (
-        "resumed_exact" if preset == "crash_restart" else "healed_exact"
-    )
+    if preset == "crash_restart":
+        result.outcome = "resumed_exact"
+    elif with_store:
+        result.outcome = "reshaped_exact"
+    else:
+        result.outcome = "healed_exact"
     if config.check_determinism:
         rerun = attempt()
         if (
@@ -302,8 +364,22 @@ def run_soak(config: Optional[ChaosConfig] = None) -> SoakReport:
     reference = apply_periodic_reference(
         problem.initial_global(0), SEVEN_POINT, config.steps
     )
+    elastic_problem = None
+    elastic_reference = None
+    if "node_loss" in config.presets:
+        elastic_problem = StencilProblem(
+            global_extent=(48, 32, 32),
+            rank_dims=(2, 2, 2),
+            stencil=SEVEN_POINT,
+            brick_dim=(8, 8, 8),
+            ghost=8,
+        )
+        elastic_reference = apply_periodic_reference(
+            elastic_problem.initial_global(0), SEVEN_POINT, config.steps
+        )
     trials = [
-        _run_trial(problem, reference, config, i)
+        _run_trial(problem, reference, config, i,
+                   elastic_problem, elastic_reference)
         for i in range(config.trials)
     ]
     return SoakReport(config=config, trials=trials)

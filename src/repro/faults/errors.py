@@ -14,6 +14,7 @@ __all__ = [
     "ExchangeIntegrityError",
     "ExchangeTimeoutError",
     "InjectedCrashError",
+    "RankDeadError",
 ]
 
 
@@ -39,3 +40,16 @@ class InjectedCrashError(FaultError):
     Raised *by the crashing rank*; peers observe the usual abort fan-out
     (``AbortedError`` / ``BrokenBarrierError``) and the launcher reports
     this as the root cause."""
+
+
+class RankDeadError(FaultError):
+    """A rank is *permanently* dead (node loss), not merely crashed.
+
+    Unlike :class:`InjectedCrashError` -- which the checkpoint/restart
+    driver survives by relaunching the *same* world -- a dead rank never
+    comes back: the fabric's liveness state (``SimFabric.mark_dead``)
+    makes every send/recv touching the dead rank raise this immediately
+    instead of timing out.  Recovery requires *elastic* restart: the
+    survivors negotiate a snapshot epoch, agree on a shrunken
+    decomposition avoiding the lost node, and re-brick
+    (:mod:`repro.elastic`)."""

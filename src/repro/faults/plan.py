@@ -59,6 +59,15 @@ class FaultPlan:
     the rank's MemMap machinery is made to fail (through the real
     ``vmem`` mapping path), triggering the MemMap->Layout->Pack
     demotion vote.
+
+    ``deaths`` is a tuple of ``(rank, step)`` pairs scheduling
+    *permanent* rank loss (node failure): the rank marks itself dead on
+    the fabric and raises
+    :class:`~repro.faults.errors.RankDeadError` at the top of that
+    timestep.  Unlike ``crashes``, deaths are never survivable in place
+    -- a relaunch at the same rank count would just die again -- so
+    recovery goes through the elastic-restart path, which reshapes the
+    world onto the surviving ranks.
     """
 
     seed: int = 0
@@ -70,6 +79,7 @@ class FaultPlan:
     edge_overrides: Mapping = field(default_factory=dict)
     crashes: Tuple[Tuple[int, int], ...] = ()
     degrade: Tuple[Tuple[int, int], ...] = ()
+    deaths: Tuple[Tuple[int, int], ...] = ()
 
     # ------------------------------------------------------------------
     def __post_init__(self) -> None:
@@ -138,6 +148,14 @@ class FaultPlan:
     def degrade_due(self, rank: int, step: int) -> bool:
         return (rank, step) in self.degrade
 
+    def death_due(self, rank: int, step: int) -> bool:
+        return (rank, step) in self.deaths
+
+    @property
+    def dead_ranks(self) -> Tuple[int, ...]:
+        """Ranks scheduled to die permanently, sorted and deduplicated."""
+        return tuple(sorted({r for r, _ in self.deaths}))
+
     @property
     def max_degrade_step(self) -> int:
         """Last scheduled degradation step (-1 when none)."""
@@ -152,6 +170,7 @@ class FaultPlan:
         }
         doc["crashes"] = [list(c) for c in self.crashes]
         doc["degrade"] = [list(d) for d in self.degrade]
+        doc["deaths"] = [list(d) for d in self.deaths]
         return doc
 
     @classmethod
@@ -159,4 +178,5 @@ class FaultPlan:
         doc = dict(doc)
         doc["crashes"] = tuple(tuple(c) for c in doc.get("crashes", ()))
         doc["degrade"] = tuple(tuple(d) for d in doc.get("degrade", ()))
+        doc["deaths"] = tuple(tuple(d) for d in doc.get("deaths", ()))
         return cls(**doc)

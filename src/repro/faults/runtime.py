@@ -118,10 +118,15 @@ class FaultInjector:
         self._lock = threading.Lock()
         self._events: List[FaultEvent] = []
         self._crashed: set = set()
+        self._died: set = set()
         #: When True (set by the checkpoint/restart driver) a scheduled
         #: crash fires exactly once: the relaunched world sees the same
         #: ``crash_due`` query again and survives it.
         self.survivable = False
+        #: Set by the elastic driver after a reshape: the dead node is
+        #: excluded from the new world and ranks were renumbered, so the
+        #: plan's old-world death schedule no longer applies.
+        self.deaths_disabled = False
 
     # -- recording -------------------------------------------------------
     def record(self, kind: str, src: int = -1, dst: int = -1, tag: int = -1,
@@ -177,6 +182,29 @@ class FaultInjector:
 
     def degrade_due(self, rank: int, step: int) -> bool:
         return self.plan.degrade_due(rank, step)
+
+    def death_due(self, rank: int, step: int) -> bool:
+        """Permanent-death check; records the event exactly once.
+
+        Death is never survivable in place: unlike :meth:`crash_due`
+        this keeps returning True on relaunches at the same rank count
+        (the node is gone).  The elastic driver instead excludes dead
+        ranks from the reshaped world, so the query is simply never made
+        for them again.
+        """
+        if self.deaths_disabled or not self.plan.death_due(rank, step):
+            return False
+        with self._lock:
+            first = (rank, step) not in self._died
+            self._died.add((rank, step))
+        if first:
+            self.record("injected_death", src=rank, step=step)
+        return True
+
+    def died(self) -> List[Tuple[int, int]]:
+        """Death sites that already fired, as sorted ``(rank, step)``."""
+        with self._lock:
+            return sorted(self._died)
 
     def vmem_armed(self, site: str = "view_map_chunk", count: int = 1):
         """Arm a vmem failure site on the calling thread (context)."""

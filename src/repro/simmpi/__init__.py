@@ -23,7 +23,9 @@ from repro.simmpi.fabric import (
     ExchangeIntegrityError,
     ExchangeTimeoutError,
     FabricStats,
+    RankDeadError,
     SimFabric,
+    UnsupportedFabricError,
 )
 from repro.simmpi.launcher import run_spmd
 from repro.simmpi.request import SimRequest
@@ -36,9 +38,11 @@ __all__ = [
     "ExchangeIntegrityError",
     "ExchangeTimeoutError",
     "FabricStats",
+    "RankDeadError",
     "SimComm",
     "SimFabric",
     "SimRequest",
+    "UnsupportedFabricError",
     "SubarrayType",
     "VectorType",
     "allgather",

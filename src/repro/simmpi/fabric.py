@@ -42,7 +42,11 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.faults.errors import ExchangeIntegrityError, ExchangeTimeoutError
+from repro.faults.errors import (
+    ExchangeIntegrityError,
+    ExchangeTimeoutError,
+    RankDeadError,
+)
 from repro.obs import METRICS as _METRICS
 from repro.obs import TRACER as _TRACER
 
@@ -54,8 +58,10 @@ __all__ = [
     "partition_tag",
     "DeadlockError",
     "AbortedError",
+    "UnsupportedFabricError",
     "ExchangeIntegrityError",
     "ExchangeTimeoutError",
+    "RankDeadError",
 ]
 
 #: Default seconds an unmatched operation waits before declaring a
@@ -69,6 +75,17 @@ _TIMEOUT_ENV = "REPRO_FABRIC_TIMEOUT"
 
 class DeadlockError(RuntimeError):
     """A receive found no matching send within the timeout."""
+
+
+class UnsupportedFabricError(RuntimeError):
+    """The requested operation is not available on this fabric mode.
+
+    Raised when the batch / partitioned fast paths are requested on a
+    verified (envelope) fabric, whose protocol is strictly per-message.
+    This is a *capability refusal*, not a bug: callers (the channel
+    layer) catch it and fall back to the per-message protocol.  Subclass
+    of ``RuntimeError`` so pre-existing blanket handlers keep working.
+    """
 
 
 @dataclass
@@ -318,6 +335,10 @@ class SimFabric:
         self.stats: List[FabricStats] = [FabricStats() for _ in range(nranks)]
         self.barrier = threading.Barrier(nranks)
         self._failed = False
+        # -- rank-liveness state (elastic restart) -----------------------
+        self._dead: set = set()
+        self._heartbeats: Dict[int, float] = {}
+        self._heartbeat_deadline: Optional[float] = None
         # -- verified-mode state (inert while _envelope is False) --------
         self._envelope = False
         self._injector = None
@@ -364,6 +385,78 @@ class SimFabric:
         self._epochs[rank] = epoch
 
     # ------------------------------------------------------------------
+    # Rank liveness (elastic restart)
+    #
+    # A dead rank is *permanently* gone -- node loss, not a survivable
+    # crash.  Marking it wakes every waiter so operations touching the
+    # dead rank fail fast with a typed RankDeadError instead of burning
+    # the full deadlock timeout.  An optional heartbeat deadline lets
+    # receivers classify a silent peer as dead (stale heartbeat) rather
+    # than deadlocked.
+    # ------------------------------------------------------------------
+    def mark_dead(self, rank: int) -> None:
+        """Declare *rank* permanently dead and wake every waiter."""
+        self._check_rank(rank)
+        with self._lock:
+            self._dead.add(rank)
+            self._lock.notify_all()
+
+    def is_dead(self, rank: int) -> bool:
+        with self._lock:
+            return rank in self._dead
+
+    def dead_ranks(self) -> List[int]:
+        """Ranks declared dead so far, sorted."""
+        with self._lock:
+            return sorted(self._dead)
+
+    def heartbeat(self, rank: int) -> None:
+        """Record a liveness beat for *rank* (driver step boundaries)."""
+        self._check_rank(rank)
+        with self._lock:
+            self._heartbeats[rank] = time.monotonic()
+
+    def set_heartbeat_deadline(self, seconds: Optional[float]) -> None:
+        """Enable heartbeat-based death detection.
+
+        With a deadline set, a receive that times out on a peer whose
+        last heartbeat is older than *seconds* classifies the peer as
+        dead (:class:`RankDeadError`) instead of deadlocked.  ``None``
+        (the default) disables the classification.
+        """
+        if seconds is not None and seconds <= 0:
+            raise ValueError("heartbeat deadline must be positive")
+        with self._lock:
+            self._heartbeat_deadline = seconds
+
+    def _check_dst_alive(self, src: int, dst: int) -> None:
+        """Refuse to post toward a dead rank (called outside the lock)."""
+        with self._lock:
+            if dst in self._dead:
+                raise RankDeadError(
+                    f"rank {src} cannot send to rank {dst}: rank {dst}"
+                    " is permanently dead"
+                )
+
+    def _raise_if_src_dead(self, src: int, dst: int, tag: int) -> None:
+        """Under the lock: a drained edge from a dead peer never fills."""
+        if src in self._dead and not self._mailboxes.get((src, dst, tag)):
+            raise RankDeadError(
+                f"rank {dst} cannot receive from rank {src}"
+                f" (tag={tag}): rank {src} is permanently dead"
+            )
+
+    def _stale_heartbeat(self, rank: int) -> bool:
+        """Under the lock: has *rank* missed its heartbeat deadline?"""
+        deadline = self._heartbeat_deadline
+        if deadline is None:
+            return False
+        last = self._heartbeats.get(rank)
+        if last is None:
+            return False
+        return (time.monotonic() - last) > deadline
+
+    # ------------------------------------------------------------------
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.nranks:
             raise ValueError(f"rank {rank} outside communicator of {self.nranks}")
@@ -372,6 +465,7 @@ class SimFabric:
         """Deposit a send; returns the entry whose event marks completion."""
         self._check_rank(src)
         self._check_rank(dst)
+        self._check_dst_alive(src, dst)
         buf = np.ascontiguousarray(buf)
         if self._envelope:
             return self._post_verified(src, dst, tag, buf)
@@ -469,13 +563,14 @@ class SimFabric:
         Returns the entries whose events mark per-message completion.
         """
         if self._envelope:
-            raise RuntimeError(
+            raise UnsupportedFabricError(
                 "batched posting is not available on a verified fabric;"
                 " use the per-message protocol"
             )
         entries = []
         nbytes = 0
         for dst, tag, buf in posts:
+            self._check_dst_alive(src, dst)
             entries.append((dst, tag, _SendEntry(buf, src)))
             nbytes += buf.nbytes
         with self._lock:
@@ -502,7 +597,7 @@ class SimFabric:
         order cannot change the result.
         """
         if self._envelope:
-            raise RuntimeError(
+            raise UnsupportedFabricError(
                 "batched receives are not available on a verified fabric;"
                 " use the per-message protocol"
             )
@@ -530,6 +625,7 @@ class SimFabric:
                             if q:
                                 ready.append((i, q.popleft()))
                             else:
+                                self._raise_if_src_dead(src, dst, tag)
                                 still.append(i)
                         pending = still
                         if ready or not pending:
@@ -540,6 +636,14 @@ class SimFabric:
                         ):
                             self._failed = True
                             self._lock.notify_all()
+                            for i in pending:
+                                src, _tag, _buf = recvs[i]
+                                if self._stale_heartbeat(src):
+                                    self._dead.add(src)
+                                    raise RankDeadError(
+                                        f"rank {src} missed its heartbeat"
+                                        f" deadline; declaring it dead"
+                                    )
                             src, tag, _buf = recvs[pending[0]]
                             raise DeadlockError(
                                 f"rank {dst} waited {timeout}s for"
@@ -599,12 +703,15 @@ class SimFabric:
         """Build a persistent partitioned send over ``(dst, tag, buf)``."""
         self._check_rank(src)
         if self._envelope:
-            raise RuntimeError(
+            raise UnsupportedFabricError(
                 "partitioned persistent sends are not available on a"
                 " verified fabric; use the per-message protocol"
             )
         if partitions < 1:
             raise ValueError("partitions must be >= 1")
+        posts = list(posts)
+        for dst, _tag, _buf in posts:
+            self._check_dst_alive(src, dst)
         return PartitionedSendRequest(self, src, posts, partitions)
 
     def recv_init(self, dst: int, recvs,
@@ -612,7 +719,7 @@ class SimFabric:
         """Build a persistent partitioned receive over ``(src, tag, buf)``."""
         self._check_rank(dst)
         if self._envelope:
-            raise RuntimeError(
+            raise UnsupportedFabricError(
                 "partitioned persistent receives are not available on a"
                 " verified fabric; use the per-message protocol"
             )
@@ -660,10 +767,17 @@ class SimFabric:
                         raise AbortedError(
                             "another rank failed; aborting receive"
                         )
+                    self._raise_if_src_dead(src, dst, tag)
                     remaining = deadline - time.monotonic()
                     if remaining <= 0 or not self._lock.wait(timeout=remaining):
                         self._failed = True
                         self._lock.notify_all()
+                        if self._stale_heartbeat(src):
+                            self._dead.add(src)
+                            raise RankDeadError(
+                                f"rank {src} missed its heartbeat deadline;"
+                                f" declaring it dead"
+                            )
                         raise DeadlockError(
                             f"rank {dst} waited {timeout}s for"
                             f" message (src={src}, tag={tag})"
@@ -749,10 +863,17 @@ class SimFabric:
                             continue
                         entry = candidate
                         break
+                    self._raise_if_src_dead(src, dst, tag)
                     remaining = deadline - time.monotonic()
                     if remaining <= 0 or not self._lock.wait(timeout=remaining):
                         self._failed = True
                         self._lock.notify_all()
+                        if self._stale_heartbeat(src):
+                            self._dead.add(src)
+                            raise RankDeadError(
+                                f"rank {src} missed its heartbeat deadline;"
+                                f" declaring it dead"
+                            )
                         raise DeadlockError(
                             f"rank {dst} waited {timeout}s for"
                             f" message (src={src}, tag={tag})"

@@ -155,11 +155,47 @@ class TestCrashRestart:
         assert "1 failed resume(s)" in report.render()
         assert report.to_literal()["outcomes"] == {"resume_failed": 1}
 
-    def test_crash_restart_last_in_preset_order(self):
+    def test_new_presets_append_to_the_cycle(self):
         # The committed chaos baselines were generated with 7-trial
-        # soaks; crash_restart must extend the cycle, not reshuffle it.
-        assert ChaosConfig().presets[-1] == "crash_restart"
+        # soaks; later presets must extend the cycle, not reshuffle it.
         assert ChaosConfig().presets[:7] == (
             "corrupt", "drop", "mixed", "duplicate", "degrade", "crash",
             "delay",
         )
+        assert ChaosConfig().presets[7:] == ("crash_restart", "node_loss")
+
+
+class TestNodeLoss:
+    def test_node_loss_trials_reshape_or_detect(self):
+        import dataclasses
+
+        config = dataclasses.replace(
+            ChaosConfig.quick(trials=2, seed=0),
+            check_determinism=False,
+            presets=("node_loss",),
+        )
+        report = run_soak(config)
+        assert report.passed, report.render()
+        outcomes = [t.outcome for t in report.trials]
+        # Even fault seeds attach a checkpoint store and must reshape to
+        # the exact answer; odd seeds run storeless and must fail fast
+        # with a typed detection -- never a hang.
+        assert outcomes[0] == "reshaped_exact", report.render()
+        assert outcomes[1] == "detected", report.render()
+        with_store = report.trials[0]
+        assert with_store.events.get("injected_death", 0) == 2
+        assert with_store.events.get("reshaped") == 1
+
+    def test_reshape_failed_outcome_fails_the_soak(self):
+        report = SoakReport(
+            config=ChaosConfig(trials=1),
+            trials=[
+                TrialResult(index=0, preset="node_loss", method="basic",
+                            seed=0, outcome="reshape_failed",
+                            error="reshaped run diverged"),
+            ],
+        )
+        assert report.reshape_failed == 1
+        assert not report.passed
+        assert "FAIL" in report.render()
+        assert report.to_literal()["outcomes"] == {"reshape_failed": 1}
