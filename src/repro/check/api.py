@@ -1,0 +1,88 @@
+"""Entry point of the ahead-of-run static verifier (``repro check``).
+
+``run_checks`` reconstructs every rank's exchange geometry plan-only
+(no storage, no fabric traffic) and runs the three verification passes
+over it, returning a :class:`~repro.check.report.CheckReport`:
+
+1. ``schedule`` -- the global send/recv multigraph pairs up, byte counts
+   and partition splits agree, tags are collision-free, no edge touches
+   a dead rank (:mod:`repro.check.schedule`);
+2. ``memory`` -- compiled gather tables stay inside the arena, phase
+   splits partition exactly, wire-visible storage ranges stay inside
+   the sections they belong to (:mod:`repro.check.memory`);
+3. ``cbackend`` -- the C kernel environment parses, the toolchain is
+   usable and a probe kernel is bit-identical to NumPy
+   (:mod:`repro.check.cback`).
+
+What is *not* provable statically: values (the checker never looks at
+payload bytes), timing, and faults injected at runtime -- those remain
+the territory of the chaos soak and the bit-exactness validation runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.check.cback import verify_cbackend
+from repro.check.geometry import build_rank_geometries
+from repro.check.memory import verify_memory
+from repro.check.report import CheckFailedError, CheckReport
+from repro.check.schedule import verify_schedule
+from repro.core.problem import StencilProblem
+from repro.hardware.profiles import MachineProfile
+
+__all__ = ["run_checks", "DEFAULT_PASSES"]
+
+DEFAULT_PASSES = ("schedule", "memory", "cbackend")
+
+
+def run_checks(
+    problem: StencilProblem,
+    method: str,
+    page_size: Optional[int] = None,
+    profile: Optional[MachineProfile] = None,
+    partitions: int = 1,
+    dead_ranks: Iterable[int] = (),
+    passes: Sequence[str] = DEFAULT_PASSES,
+    strict: bool = False,
+) -> CheckReport:
+    """Statically verify *problem* x *method* ahead of any run.
+
+    *partitions* is the channel partition count the run will negotiate
+    (phased runs use ``DEFAULT_PARTITIONS``); *dead_ranks* marks ranks
+    known lost, so elastic pre-flights can prove the old decomposition
+    unrunnable and the re-bricked one clean.  With *strict* the call
+    raises :class:`CheckFailedError` instead of returning a failed
+    report.
+    """
+    report = CheckReport()
+    report.context = {
+        "method": method,
+        "geometry": "x".join(str(e) for e in problem.global_extent),
+        "ranks": "x".join(str(d) for d in problem.rank_dims),
+    }
+    unknown = [p for p in passes if p not in DEFAULT_PASSES]
+    if unknown:
+        raise ValueError(
+            f"unknown pass(es) {unknown}; available: {DEFAULT_PASSES}"
+        )
+    geoms = None
+    if "schedule" in passes or "memory" in passes:
+        geoms = build_rank_geometries(problem, method, profile, page_size)
+    if "schedule" in passes:
+        report.passes_run.append("schedule")
+        verify_schedule(
+            {g.rank: g.plan for g in geoms},
+            report,
+            partitions=partitions,
+            dead_ranks=dead_ranks,
+        )
+    if "memory" in passes:
+        report.passes_run.append("memory")
+        verify_memory(problem, geoms, report)
+    if "cbackend" in passes:
+        report.passes_run.append("cbackend")
+        verify_cbackend(report)
+    if strict and not report.ok:
+        raise CheckFailedError(report)
+    return report

@@ -1,0 +1,154 @@
+"""Plan-only rank geometry reconstruction for the static verifier.
+
+Every executable exchange method can be constructed *plan-only*: no
+storage arena, no wire buffers, no fabric traffic -- just the message
+schedule derived from geometry (see ``Exchanger.message_plan``).  This
+module mirrors the driver's per-rank setup (`_make_exchanger` plus the
+brick decomposition it feeds) closely enough that the verified schedule
+is the executed schedule, while staying cheap enough to run ahead of
+every job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.brick.decomp import BrickDecomp, SlotAssignment
+from repro.core.methods import MethodInfo, method_info
+from repro.core.problem import StencilProblem
+from repro.exchange.base import Exchanger, RankMessagePlan
+from repro.exchange.brickpack import BrickPackExchanger
+from repro.exchange.layout_ex import LayoutExchanger
+from repro.exchange.memmap_ex import MemMapExchanger
+from repro.exchange.mpitypes import MPITypesExchanger
+from repro.exchange.pack import PackExchanger
+from repro.exchange.shift import ShiftExchanger
+from repro.faults.errors import ExchangeConfigError
+from repro.hardware.profiles import MachineProfile, generic_host
+from repro.simmpi.comm import CartComm, SimComm
+from repro.simmpi.fabric import SimFabric
+
+__all__ = ["RankGeometry", "build_rank_geometries", "build_rank_plans"]
+
+#: Methods the static verifier covers: every executable CPU scheme plus
+#: the degradation ladder's last rung.
+CHECKABLE_METHODS = (
+    "yask", "yask_ol", "mpi_types", "shift", "basic", "layout", "memmap",
+    "brickpack",
+)
+
+
+@dataclass
+class RankGeometry:
+    """One rank's reconstructed exchange geometry, plan-only."""
+
+    rank: int
+    cart: CartComm
+    exchanger: Exchanger
+    plan: RankMessagePlan
+    decomp: Optional[BrickDecomp]  # brick schemes only
+    assignment: Optional[SlotAssignment]  # brick schemes only
+    page_size: Optional[int]  # memmap only
+
+
+def _plan_only_exchanger(
+    info: MethodInfo,
+    cart: CartComm,
+    problem: StencilProblem,
+    profile: MachineProfile,
+    page_size: int,
+):
+    """Mirror of the driver's ``_make_exchanger``, with no buffers."""
+    ext, g = problem.subdomain_extent, problem.ghost
+    if info.base in ("yask", "yask_ol"):
+        ex = PackExchanger(cart, None, ext, g, profile, dtype=problem.dtype)
+        return ex, None, None, None
+    if info.base == "mpi_types":
+        ex = MPITypesExchanger(
+            cart, None, ext, g, profile, dtype=problem.dtype
+        )
+        return ex, None, None, None
+    if info.base == "shift":
+        ex = ShiftExchanger(cart, None, ext, g, profile, dtype=problem.dtype)
+        return ex, None, None, None
+    decomp = BrickDecomp(
+        ext, problem.brick_dim, g, problem.layout, problem.dtype
+    )
+    if info.base == "memmap":
+        asn = decomp.assignment(decomp.alignment_for_page(page_size))
+        ex = MemMapExchanger(cart, decomp, None, asn, profile, page_size)
+        return ex, decomp, asn, page_size
+    asn = decomp.assignment(1)
+    if info.base in ("layout", "basic"):
+        ex = LayoutExchanger(
+            cart, decomp, None, asn, profile,
+            merge_runs=(info.base == "layout"),
+        )
+        return ex, decomp, asn, None
+    if info.base == "brickpack":
+        ex = BrickPackExchanger(cart, decomp, None, asn, profile)
+        return ex, decomp, asn, None
+    raise ExchangeConfigError(
+        f"method {info.name!r} is not statically checkable; checkable"
+        f" methods are {CHECKABLE_METHODS}"
+    )
+
+
+def build_rank_geometries(
+    problem: StencilProblem,
+    method: str,
+    profile: Optional[MachineProfile] = None,
+    page_size: Optional[int] = None,
+) -> List[RankGeometry]:
+    """Reconstruct every rank's plan-only geometry for *method*.
+
+    One shared :class:`SimFabric` backs all the Cartesian communicators
+    (nothing is ever posted to it); each rank gets the same plan-only
+    exchanger the driver would build, and its static
+    :class:`~repro.exchange.base.RankMessagePlan`.
+    """
+    if method == "brickpack":
+        # The ladder rung is not a user-selectable method name; give it a
+        # synthetic MethodInfo so the same dispatch covers it.
+        info = MethodInfo(
+            "brickpack", None, True, False, True, False, "brick"
+        )
+    else:
+        info = method_info(method)
+        if info.base not in CHECKABLE_METHODS:
+            raise ExchangeConfigError(
+                f"method {method!r} is not statically checkable;"
+                f" checkable methods are {CHECKABLE_METHODS}"
+            )
+    profile = profile or generic_host()
+    page = page_size or (
+        profile.gpu.page_size
+        if info.is_gpu and profile.gpu
+        else profile.page_size
+    )
+    fabric = SimFabric(problem.nranks)
+    periods = [problem.periodic] * problem.ndim
+    out: List[RankGeometry] = []
+    for rank in range(problem.nranks):
+        cart = SimComm(fabric, rank).Create_cart(problem.rank_dims, periods)
+        ex, decomp, asn, pg = _plan_only_exchanger(
+            info, cart, problem, profile, page
+        )
+        out.append(
+            RankGeometry(rank, cart, ex, ex.message_plan(), decomp, asn, pg)
+        )
+    return out
+
+
+def build_rank_plans(
+    problem: StencilProblem,
+    method: str,
+    profile: Optional[MachineProfile] = None,
+    page_size: Optional[int] = None,
+) -> Dict[int, RankMessagePlan]:
+    """``{rank: message plan}`` for the whole decomposition."""
+    return {
+        g.rank: g.plan
+        for g in build_rank_geometries(problem, method, profile, page_size)
+    }

@@ -1,0 +1,341 @@
+"""Pass 2: compiled-plan and channel-buffer memory verification.
+
+Proves, per rank and purely from geometry, that the run's precomputed
+index tables and wire-visible storage ranges stay inside the regions
+they are entitled to:
+
+* **gather tables in bounds** -- every flat source index of the compiled
+  brick plan's gather chunks lands inside the storage arena
+  (``[0, total_slots * brick_elems)``), inside its source slot's padded
+  span, and inside the plan's field window; the only negative value is
+  the ``-1`` absent sentinel;
+* **phase split sound** -- the interior/surface slot partition used by
+  compute-comm overlap is disjoint and jointly covers the unphased slot
+  set (an overlap double-computes a brick, a gap leaves one stale);
+* **wire ranges in bounds** -- the storage byte ranges a zero-copy
+  scheme wires directly (``PlannedMessage.ranges``) fall inside the
+  arena, sends read only surface sections (padding included for the
+  page-granular MemMap views), receives write only ghost sections;
+* **snapshot aliasing** -- no received byte overlaps the interior or
+  surface payload spans the checkpointer snapshots: a wire write into
+  snapshot territory would silently corrupt a restored epoch;
+* **receive disjointness** -- no two receives of one rank write
+  overlapping storage bytes.
+
+The helpers take explicit tables so the mutation harness
+(:mod:`repro.check.selftest`) can feed forged inputs and assert the
+violations are caught.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.check.geometry import RankGeometry
+from repro.check.report import CheckReport
+from repro.core.problem import StencilProblem
+from repro.stencil.plan import (
+    _build_gather_chunk,
+    ghost_slot_mask,
+    split_array_region,
+    split_brick_slots,
+)
+
+__all__ = [
+    "verify_memory",
+    "check_gather_tables",
+    "check_phase_split",
+    "check_ranges",
+]
+
+PASS = "memory"
+
+
+# ----------------------------------------------------------------------
+# Reusable checkers (the selftest feeds these forged inputs)
+# ----------------------------------------------------------------------
+def check_gather_tables(
+    chunks: Iterable,
+    total_slots: int,
+    brick_elems: int,
+    field_offset: int,
+    volume: int,
+    report: CheckReport,
+    rank: int,
+) -> None:
+    """Validate compiled gather chunks against the arena geometry."""
+    total_elems = total_slots * brick_elems
+    lo_f = field_offset
+    hi_f = field_offset + volume
+    for chunk in chunks:
+        idx = np.asarray(chunk.index).reshape(-1)
+        present = idx >= 0
+        bad_neg = idx < -1
+        if bad_neg.any():
+            report.error(
+                PASS, "oob-index",
+                f"rank {rank}: gather table holds {int(bad_neg.sum())}"
+                " negative index value(s) other than the -1 absent"
+                " sentinel",
+                ranks=(rank,),
+                hint="absent halo cells must carry exactly -1",
+            )
+        vals = idx[present]
+        if vals.size == 0:
+            continue
+        oob = (vals >= total_elems).sum()
+        if oob:
+            worst = int(vals.max())
+            report.error(
+                PASS, "oob-index",
+                f"rank {rank}: {int(oob)} gather index value(s) reach"
+                f" past the storage arena ({worst} >="
+                f" {total_elems} elements)",
+                ranks=(rank,), slot=worst // brick_elems,
+                hint="the index table must be rebuilt for this"
+                     " assignment's total_slots",
+            )
+        within = vals % brick_elems
+        off_field = (within < lo_f) | (within >= hi_f)
+        if off_field.any():
+            report.error(
+                PASS, "field-window",
+                f"rank {rank}: {int(off_field.sum())} gather index"
+                " value(s) read outside the plan's field window"
+                f" [{lo_f}, {hi_f}) within their brick",
+                ranks=(rank,),
+                hint="field_offset/volume disagree between the plan and"
+                     " the table",
+            )
+
+
+def check_phase_split(
+    interior: np.ndarray,
+    surface: np.ndarray,
+    slots: np.ndarray,
+    report: CheckReport,
+    rank: int,
+) -> None:
+    """Interior/surface must partition the unphased slot set exactly."""
+    si = set(int(s) for s in np.asarray(interior).reshape(-1))
+    ss = set(int(s) for s in np.asarray(surface).reshape(-1))
+    sall = set(int(s) for s in np.asarray(slots).reshape(-1))
+    both = si & ss
+    if both:
+        report.error(
+            PASS, "phase-split-overlap",
+            f"rank {rank}: {len(both)} slot(s) appear in both the"
+            " interior and surface phase plans (first:"
+            f" {min(both)}); the phased step would compute them twice",
+            ranks=(rank,), slot=min(both),
+            hint="split_brick_slots must partition, not duplicate",
+        )
+    missing = sall - (si | ss)
+    if missing:
+        report.error(
+            PASS, "phase-split-gap",
+            f"rank {rank}: {len(missing)} slot(s) of the unphased plan"
+            f" are in neither phase plan (first: {min(missing)}); the"
+            " phased step would leave them stale",
+            ranks=(rank,), slot=min(missing),
+        )
+    extra = (si | ss) - sall
+    if extra:
+        report.error(
+            PASS, "phase-split-extra",
+            f"rank {rank}: {len(extra)} phased slot(s) are not part of"
+            f" the unphased plan (first: {min(extra)})",
+            ranks=(rank,), slot=min(extra),
+        )
+
+
+def _union(spans: Sequence[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Merge (start, stop) byte spans into a sorted disjoint union."""
+    out: List[Tuple[int, int]] = []
+    for lo, hi in sorted(spans):
+        if out and lo <= out[-1][1]:
+            out[-1] = (out[-1][0], max(out[-1][1], hi))
+        else:
+            out.append((lo, hi))
+    return out
+
+
+def _covered(lo: int, hi: int, union: Sequence[Tuple[int, int]]) -> bool:
+    for ulo, uhi in union:
+        if ulo <= lo and hi <= uhi:
+            return True
+    return False
+
+
+def _intersects(
+    lo: int, hi: int, union: Sequence[Tuple[int, int]]
+) -> Optional[Tuple[int, int]]:
+    for ulo, uhi in union:
+        if lo < uhi and ulo < hi:
+            return (max(lo, ulo), min(hi, uhi))
+    return None
+
+
+def check_ranges(
+    geom: RankGeometry,
+    report: CheckReport,
+) -> None:
+    """Wire-visible storage ranges vs the slot assignment's sections."""
+    asn, decomp = geom.assignment, geom.decomp
+    if asn is None or decomp is None:
+        return
+    bb = decomp.brick_bytes
+    arena_bytes = asn.total_slots * bb
+    rank = geom.rank
+    # Padded spans: MemMap wires whole pages, which cover each section's
+    # alignment padding; payload spans: the bytes that carry data the
+    # checkpointer snapshots and the kernels read.
+    surface_padded = _union(
+        [(s.start * bb, s.padded_end * bb)
+         for s in asn.sections if s.kind == "surface" and s.nbricks]
+    )
+    ghost_padded = _union(
+        [(s.start * bb, s.padded_end * bb)
+         for s in asn.sections if s.kind == "ghost" and s.nbricks]
+    )
+    owned_payload = _union(
+        [(s.start * bb, s.end * bb)
+         for s in asn.sections
+         if s.kind in ("interior", "surface") and s.nbricks]
+    )
+
+    recv_spans: List[Tuple[int, int, int]] = []  # (lo, hi, tag)
+    for kind, allowed in (("sends", surface_padded), ("recvs", ghost_padded)):
+        for m in getattr(geom.plan, kind):
+            if m.ranges is None:
+                continue
+            for off, length in m.ranges:
+                lo, hi = int(off), int(off) + int(length)
+                if lo < 0 or hi > arena_bytes:
+                    report.error(
+                        PASS, "range-out-of-arena",
+                        f"rank {rank}: {kind[:-1]} range [{lo}, {hi})"
+                        f" (tag {m.tag}) leaves the"
+                        f" {arena_bytes}-byte storage arena",
+                        ranks=(rank,), tag=m.tag, slot=lo // bb,
+                    )
+                    continue
+                if not _covered(lo, hi, allowed):
+                    where = (
+                        "surface" if kind == "sends" else "ghost"
+                    )
+                    report.error(
+                        PASS,
+                        "send-range-oob" if kind == "sends"
+                        else "recv-range-oob",
+                        f"rank {rank}: {kind[:-1]} range [{lo}, {hi})"
+                        f" (tag {m.tag}) is not contained in the"
+                        f" {where} sections' padded spans",
+                        ranks=(rank,), tag=m.tag, slot=lo // bb,
+                        hint="the exchanger's section bookkeeping and"
+                             " the slot assignment disagree",
+                    )
+                if kind == "recvs":
+                    clash = _intersects(lo, hi, owned_payload)
+                    if clash is not None:
+                        report.error(
+                            PASS, "recv-aliases-snapshot",
+                            f"rank {rank}: recv range [{lo}, {hi}) (tag"
+                            f" {m.tag}) overlaps owned payload bytes"
+                            f" [{clash[0]}, {clash[1]}); a wire write"
+                            " there corrupts data the checkpointer"
+                            " snapshots",
+                            ranks=(rank,), tag=m.tag,
+                            slot=clash[0] // bb,
+                            hint="receives must land only in ghost"
+                                 " sections",
+                        )
+                    recv_spans.append((lo, hi, m.tag))
+
+    recv_spans.sort()
+    for (alo, ahi, atag), (blo, bhi, btag) in zip(
+        recv_spans, recv_spans[1:]
+    ):
+        if blo < ahi:
+            report.error(
+                PASS, "recv-range-overlap",
+                f"rank {rank}: recv ranges for tags {atag} and {btag}"
+                f" overlap in [{blo}, {min(ahi, bhi)}); later delivery"
+                " order would decide the bytes",
+                ranks=(rank,), tag=btag, slot=blo // bb,
+            )
+
+
+# ----------------------------------------------------------------------
+# The pass itself
+# ----------------------------------------------------------------------
+def verify_memory(
+    problem: StencilProblem,
+    geoms: Sequence[RankGeometry],
+    report: CheckReport,
+) -> None:
+    """Run every memory check over the reconstructed geometries."""
+    spec = problem.stencil
+    for geom in geoms:
+        check_ranges(geom, report)
+        decomp, asn = geom.decomp, geom.assignment
+        if decomp is None or asn is None:
+            # Array schemes: validate the interior/surface region split
+            # covers the owned box exactly.
+            ext, g, r = (
+                problem.subdomain_extent, problem.ghost, spec.radius,
+            )
+            interior, surf_boxes = split_array_region(ext, g, 0, r)
+            shape = tuple(e + 2 * g for e in reversed(ext))
+            mask = np.zeros(shape, dtype=np.int32)
+            boxes = ([interior] if interior is not None else []) + list(
+                surf_boxes
+            )
+            for box in boxes:
+                mask[tuple(slice(lo, hi) for lo, hi in box)] += 1
+            owned = tuple(slice(g, g + e) for e in reversed(ext))
+            outside = mask.copy()
+            outside[owned] = 0  # only the ghost shell remains
+            mask = mask[owned]
+            if (outside > 0).any():
+                report.error(
+                    PASS, "phase-split-extra",
+                    f"rank {geom.rank}: array phase regions touch"
+                    f" {int((outside > 0).sum())} cell(s) outside the"
+                    " owned box",
+                    ranks=(geom.rank,),
+                )
+            if (mask > 1).any():
+                report.error(
+                    PASS, "phase-split-overlap",
+                    f"rank {geom.rank}: array phase regions overlap on"
+                    f" {int((mask > 1).sum())} cell(s)",
+                    ranks=(geom.rank,),
+                )
+            if (mask == 0).any():
+                report.error(
+                    PASS, "phase-split-gap",
+                    f"rank {geom.rank}: array phase regions miss"
+                    f" {int((mask == 0).sum())} owned cell(s)",
+                    ranks=(geom.rank,),
+                )
+            continue
+        binfo = decomp.brick_info(asn)
+        slots = decomp.compute_slots(asn)
+        chunks = [
+            _build_gather_chunk(
+                binfo, slots[lo: lo + 512], spec.radius, 0,
+                decomp.brick_elems,
+            )
+            for lo in range(0, len(slots), 512)
+        ]
+        check_gather_tables(
+            chunks, asn.total_slots, decomp.brick_elems, 0,
+            decomp.brick_volume, report, geom.rank,
+        )
+        interior, surface = split_brick_slots(
+            binfo, ghost_slot_mask(asn), slots
+        )
+        check_phase_split(interior, surface, slots, report, geom.rank)

@@ -1,0 +1,156 @@
+"""Structured findings for the ahead-of-run static verifier.
+
+Every pass (:mod:`repro.check.schedule`, :mod:`repro.check.memory`,
+:mod:`repro.check.cback`) reports through the same :class:`CheckReport`:
+a flat list of :class:`Finding` records, each carrying the pass that
+produced it, a stable machine-readable code, the ranks/tag/slot it
+implicates and a human fix hint.  The CLI renders the report; the driver
+pre-flight (``run_executed(check=...)``) raises
+:class:`CheckFailedError` on any error-severity finding; the mutation
+harness asserts specific codes appear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Finding", "CheckReport", "CheckFailedError"]
+
+#: Finding severities, in increasing order of alarm.
+SEVERITIES = ("note", "warning", "error")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One verified-invariant violation (or advisory note)."""
+
+    severity: str  # "note" | "warning" | "error"
+    passname: str  # "schedule" | "memory" | "cbackend"
+    code: str  # stable machine-readable class, e.g. "tag-collision"
+    message: str  # human description of this occurrence
+    ranks: Tuple[int, ...] = ()  # implicated ranks (empty: rank-agnostic)
+    tag: Optional[int] = None  # offending message tag, when tag-shaped
+    slot: Optional[int] = None  # offending storage slot, when slot-shaped
+    hint: str = ""  # how to fix it
+
+    def render(self) -> str:
+        loc = []
+        if self.ranks:
+            loc.append("rank " + ",".join(str(r) for r in self.ranks))
+        if self.tag is not None:
+            loc.append(f"tag {self.tag}")
+        if self.slot is not None:
+            loc.append(f"slot {self.slot}")
+        where = f" [{'; '.join(loc)}]" if loc else ""
+        line = (
+            f"{self.severity.upper():7s} {self.passname}/{self.code}"
+            f"{where}: {self.message}"
+        )
+        if self.hint:
+            line += f"\n        hint: {self.hint}"
+        return line
+
+
+@dataclass
+class CheckReport:
+    """Accumulated findings of one ``repro check`` invocation."""
+
+    findings: List[Finding] = field(default_factory=list)
+    passes_run: List[str] = field(default_factory=list)
+    #: geometry / method the report describes, for rendering
+    context: Dict[str, str] = field(default_factory=dict)
+
+    def add(self, finding: Finding) -> None:
+        if finding.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {finding.severity!r}")
+        self.findings.append(finding)
+
+    def error(self, passname: str, code: str, message: str, **kw) -> None:
+        self.add(Finding("error", passname, code, message, **kw))
+
+    def warning(self, passname: str, code: str, message: str, **kw) -> None:
+        self.add(Finding("warning", passname, code, message, **kw))
+
+    def note(self, passname: str, code: str, message: str, **kw) -> None:
+        self.add(Finding("note", passname, code, message, **kw))
+
+    # ------------------------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity finding was recorded."""
+        return not any(f.severity == "error" for f in self.findings)
+
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    def codes(self) -> List[str]:
+        """Distinct finding codes, in first-occurrence order."""
+        seen: List[str] = []
+        for f in self.findings:
+            if f.code not in seen:
+                seen.append(f.code)
+        return seen
+
+    def has(self, code: str) -> bool:
+        return any(f.code == code for f in self.findings)
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        head = []
+        if self.context:
+            ctx = ", ".join(f"{k}={v}" for k, v in self.context.items())
+            head.append(f"repro check: {ctx}")
+        head.append(
+            "passes: " + (", ".join(self.passes_run) or "(none)")
+        )
+        body = [f.render() for f in self.findings]
+        nerr = len(self.errors())
+        nwarn = sum(1 for f in self.findings if f.severity == "warning")
+        tail = (
+            f"result: {'CLEAN' if self.ok else 'FAILED'}"
+            f" ({nerr} error(s), {nwarn} warning(s))"
+        )
+        return "\n".join(head + body + [tail])
+
+    def to_literal(self) -> dict:
+        """JSON-serializable form of the whole report."""
+        return {
+            "ok": self.ok,
+            "passes": list(self.passes_run),
+            "context": dict(self.context),
+            "findings": [
+                {
+                    "severity": f.severity,
+                    "pass": f.passname,
+                    "code": f.code,
+                    "message": f.message,
+                    "ranks": list(f.ranks),
+                    "tag": f.tag,
+                    "slot": f.slot,
+                    "hint": f.hint,
+                }
+                for f in self.findings
+            ],
+        }
+
+
+class CheckFailedError(RuntimeError):
+    """A strict pre-flight check found at least one error.
+
+    Carries the full :class:`CheckReport` so callers can render or
+    serialize the findings instead of re-running the verifier.
+    """
+
+    def __init__(self, report: CheckReport) -> None:
+        errs = report.errors()
+        summary = "; ".join(
+            f"{f.passname}/{f.code}" for f in errs[:4]
+        )
+        if len(errs) > 4:
+            summary += f"; +{len(errs) - 4} more"
+        super().__init__(
+            f"static verification failed with {len(errs)} error(s):"
+            f" {summary}"
+        )
+        self.report = report

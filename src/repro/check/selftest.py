@@ -1,0 +1,201 @@
+"""Mutation harness: prove the verifier actually catches violations.
+
+A static checker that silently passes everything is worse than none.
+``run_selftest`` takes a known-clean geometry, injects one violation of
+each class the verifier claims to detect -- a tag collision, a dropped
+receive, a byte-count disagreement, a partition split disagreement, a
+dead rank, a tag in the partition region, an off-by-one gather index,
+an overlapping phase split -- and asserts the corresponding finding
+code appears.  CI gates on 100% detection (``repro check --selftest``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.check.geometry import build_rank_geometries
+from repro.check.memory import check_gather_tables, check_phase_split
+from repro.check.report import CheckReport
+from repro.check.schedule import verify_schedule
+from repro.core.problem import StencilProblem
+from repro.simmpi.fabric import _PARTITION_TAG_BASE
+from repro.stencil.spec import SEVEN_POINT
+
+__all__ = ["run_selftest", "MUTATIONS"]
+
+
+def _default_problem() -> StencilProblem:
+    return StencilProblem(
+        global_extent=(32, 32, 32),
+        rank_dims=(2, 2, 2),
+        stencil=SEVEN_POINT,
+        brick_dim=(8, 8, 8),
+        ghost=8,
+    )
+
+
+def _plans(problem, method):
+    return {
+        g.rank: g.plan
+        for g in build_rank_geometries(problem, method)
+    }
+
+
+def _mutate_first_send(plans, **changes):
+    """Return plans with rank 0's first send replaced via dataclass
+    replace(**changes)."""
+    plan = plans[0]
+    sends = list(plan.sends)
+    sends[0] = replace(sends[0], **changes)
+    plans = dict(plans)
+    plans[0] = replace(plan, sends=tuple(sends))
+    return plans
+
+
+# ---------------------------------------------------------------------
+# One injector per violation class: mutate, verify, return the finding
+# code that must appear.
+# ---------------------------------------------------------------------
+def _inject_tag_collision(problem, method) -> Tuple[CheckReport, str]:
+    plans = _plans(problem, method)
+    plan = plans[0]
+    sends = list(plan.sends)
+    sends.append(sends[0])  # duplicate (peer, tag) in the same phase
+    plans[0] = replace(plan, sends=tuple(sends))
+    report = CheckReport()
+    verify_schedule(plans, report)
+    return report, "tag-collision"
+
+
+def _inject_dropped_recv(problem, method) -> Tuple[CheckReport, str]:
+    plans = _plans(problem, method)
+    # Drop the receive matching rank 0's first send: its peer starves
+    # the send forever.
+    target = plans[0].sends[0]
+    peer_plan = plans[target.peer]
+    recvs = tuple(
+        m for m in peer_plan.recvs
+        if not (m.peer == 0 and m.tag == target.tag
+                and m.phase == target.phase)
+    )
+    plans[target.peer] = replace(peer_plan, recvs=recvs)
+    report = CheckReport()
+    verify_schedule(plans, report)
+    return report, "orphan-send"
+
+
+def _inject_dropped_send(problem, method) -> Tuple[CheckReport, str]:
+    plans = _plans(problem, method)
+    plan = plans[0]
+    plans[0] = replace(plan, sends=tuple(plan.sends[1:]))
+    report = CheckReport()
+    verify_schedule(plans, report)
+    return report, "starved-recv"
+
+
+def _inject_byte_mismatch(problem, method) -> Tuple[CheckReport, str]:
+    plans = _plans(problem, method)
+    target = plans[0].sends[0]
+    plans = _mutate_first_send(plans, nbytes=target.nbytes + 8)
+    report = CheckReport()
+    verify_schedule(plans, report)
+    return report, "byte-mismatch"
+
+
+def _inject_partition_split(problem, method) -> Tuple[CheckReport, str]:
+    plans = _plans(problem, method)
+    plans = _mutate_first_send(plans, partitions=3)
+    report = CheckReport()
+    verify_schedule(plans, report, partitions=4)
+    return report, "partition-split-mismatch"
+
+
+def _inject_tag_overflow(problem, method) -> Tuple[CheckReport, str]:
+    plans = _plans(problem, method)
+    target = plans[0].sends[0]
+    bad = _PARTITION_TAG_BASE + target.tag
+    plans = _mutate_first_send(plans, tag=bad)
+    # Keep the pairing intact on the peer so only the overflow fires.
+    peer_plan = plans[target.peer]
+    recvs = tuple(
+        replace(m, tag=bad)
+        if (m.peer == 0 and m.tag == target.tag
+            and m.phase == target.phase)
+        else m
+        for m in peer_plan.recvs
+    )
+    plans[target.peer] = replace(peer_plan, recvs=recvs)
+    report = CheckReport()
+    verify_schedule(plans, report)
+    return report, "tag-overflow"
+
+
+def _inject_dead_rank(problem, method) -> Tuple[CheckReport, str]:
+    plans = _plans(problem, method)
+    report = CheckReport()
+    verify_schedule(plans, report, dead_ranks=(0,))
+    return report, "dead-rank-edge"
+
+
+def _inject_oob_index(problem, method) -> Tuple[CheckReport, str]:
+    """Forge a gather chunk whose last index overruns the arena by one."""
+
+    class _Chunk:
+        pass
+
+    total_slots, brick_elems, volume = 64, 512, 512
+    chunk = _Chunk()
+    idx = np.arange(27, dtype=np.int64)
+    idx[-1] = total_slots * brick_elems  # one past the last element
+    chunk.index = idx
+    report = CheckReport()
+    check_gather_tables(
+        [chunk], total_slots, brick_elems, 0, volume, report, rank=0
+    )
+    return report, "oob-index"
+
+
+def _inject_overlapping_split(problem, method) -> Tuple[CheckReport, str]:
+    slots = np.arange(16, dtype=np.int64)
+    interior = slots[:9]  # slot 8 claimed by both phases
+    surface = slots[8:]
+    report = CheckReport()
+    check_phase_split(interior, surface, slots, report, rank=0)
+    return report, "phase-split-overlap"
+
+
+#: every violation class the verifier claims to catch
+MUTATIONS: Dict[str, Callable] = {
+    "tag_collision": _inject_tag_collision,
+    "dropped_recv": _inject_dropped_recv,
+    "dropped_send": _inject_dropped_send,
+    "byte_mismatch": _inject_byte_mismatch,
+    "partition_split": _inject_partition_split,
+    "tag_overflow": _inject_tag_overflow,
+    "dead_rank": _inject_dead_rank,
+    "oob_index": _inject_oob_index,
+    "overlapping_split": _inject_overlapping_split,
+}
+
+
+def run_selftest(
+    problem: Optional[StencilProblem] = None,
+    methods: Tuple[str, ...] = ("memmap",),
+) -> Dict[str, bool]:
+    """Inject every mutation class; map mutation name -> detected.
+
+    A value of ``False`` anywhere means the verifier has a blind spot;
+    ``repro check --selftest`` (and the CI ``static-verify`` job) exit
+    nonzero on it.
+    """
+    problem = problem or _default_problem()
+    results: Dict[str, bool] = {}
+    for method in methods:
+        for name, inject in MUTATIONS.items():
+            report, expected_code = inject(problem, method)
+            key = name if len(methods) == 1 else f"{method}:{name}"
+            results[key] = report.has(expected_code)
+    return results

@@ -20,6 +20,13 @@ Commands
 ``validate``
     Self-check: run every executable method on a small problem and
     verify all of them against the reference.
+``check``
+    Ahead-of-run static verifier: rebuild the global message schedule
+    plan-only and prove deadlock freedom, byte/split agreement, tag
+    hygiene, in-bounds compiled plans and C-backend sanity without
+    touching the fabric.  ``--selftest`` runs the mutation harness
+    (every violation class must be detected); exits nonzero on any
+    error finding.
 ``chaos``
     Seeded fault-injection soak: corrupt/drop/duplicate/delay wire
     faults, scheduled rank crashes (with and without checkpoint-based
@@ -113,6 +120,7 @@ def _cmd_run(args) -> int:
             resume=args.resume,
             fault_plan=fault_plan,
             elastic=args.elastic,
+            check=getattr(args, "check", None),
         )
     finally:
         if tracing:
@@ -438,6 +446,54 @@ def _cmd_ckpt(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    import json
+
+    from repro.check import CHECKABLE_METHODS, run_checks, run_selftest
+
+    if args.selftest:
+        methods = (
+            CHECKABLE_METHODS if args.all_methods else ("memmap", "shift")
+        )
+        results = run_selftest(methods=methods)
+        missed = sorted(k for k, ok in results.items() if not ok)
+        for k in sorted(results):
+            print(f"{'detected' if results[k] else 'MISSED':8s} {k}")
+        print(
+            f"selftest: {len(results) - len(missed)}/{len(results)}"
+            " violation classes detected"
+        )
+        return 1 if missed else 0
+
+    problem = _build_problem(args)
+    dead = tuple(int(r) for r in (args.dead or []))
+    methods = (
+        list(CHECKABLE_METHODS) if args.all_methods else [args.method]
+    )
+    payloads = []
+    failed = False
+    for method in methods:
+        report = run_checks(
+            problem, method,
+            profile=_profile(args.machine),
+            partitions=args.partitions,
+            dead_ranks=dead,
+        )
+        failed = failed or not report.ok
+        if args.json:
+            payloads.append(report.to_literal())
+        else:
+            print(report.render())
+            if len(methods) > 1:
+                print()
+    if args.json:
+        out = payloads[0] if len(payloads) == 1 else payloads
+        with open(args.json, "w") as fh:
+            json.dump(out, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -469,6 +525,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("run", help="executed distributed run + validation")
     add_run_args(p)
     p.add_argument("--open-boundaries", action="store_true")
+    p.add_argument("--check", nargs="?", const="strict",
+                   choices=("strict", "warn"), default=None,
+                   help="static pre-flight: verify the exchange schedule"
+                        " and compiled plans before launching ranks"
+                        " (bare --check means strict)")
     p.add_argument("--checkpoint-dir", metavar="DIR", default=None,
                    help="write content-verified snapshots to this store")
     p.add_argument("--checkpoint-period", type=int, default=None,
@@ -529,6 +590,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--machine", choices=("theta", "summit", "generic"),
                    default="theta")
     p.set_defaults(fn=_cmd_validate)
+
+    p = sub.add_parser(
+        "check", help="ahead-of-run static schedule/plan verifier"
+    )
+    add_run_args(p)
+    p.add_argument("--open-boundaries", action="store_true")
+    p.add_argument("--partitions", type=int, default=1,
+                   help="channel partition count the run will negotiate"
+                        " (phased runs use 4)")
+    p.add_argument("--dead", type=int, action="append", default=None,
+                   metavar="RANK",
+                   help="treat RANK as permanently dead (repeatable);"
+                        " any schedule edge touching it is an error")
+    p.add_argument("--all-methods", action="store_true",
+                   help="check every executable method, not just"
+                        " --method")
+    p.add_argument("--selftest", action="store_true",
+                   help="mutation harness: inject one violation of each"
+                        " class and require the verifier to catch it")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="also write the report(s) as JSON")
+    p.set_defaults(fn=_cmd_check)
 
     p = sub.add_parser("chaos", help="seeded fault-injection soak")
     p.add_argument("--trials", type=int, default=10)

@@ -930,6 +930,7 @@ def run_executed(
     elastic: bool = False,
     topology=None,
     max_reshapes: Optional[int] = None,
+    check: Optional[str] = None,
 ) -> ExecutedRun:
     """Run the problem end-to-end on simulated ranks; see module docs.
 
@@ -983,6 +984,15 @@ def run_executed(
     before the first step (cold restart).  *max_restarts* bounds the
     relaunches (default: the number of distinct scheduled crashes).
 
+    *check*: ahead-of-run static verification (``repro.check``).
+    ``"strict"`` verifies the schedule and plan memory before the first
+    rank launches and raises
+    :class:`~repro.check.CheckFailedError` on any violation;
+    ``"warn"`` prints the findings and runs anyway.  The verifier
+    reconstructs the plan from the same geometry the run will use
+    (partition count included), so a clean check proves deadlock
+    freedom and split agreement for this exact configuration.
+
     Elastic restart knobs (see README "Robustness" and DESIGN.md 10):
 
     *elastic*: survive *permanent* rank deaths (``fault_plan.deaths``).
@@ -1008,6 +1018,25 @@ def run_executed(
             "'network' is the modelled communication floor; use"
             " repro.core.model.model_timestep for it"
         )
+    if check is not None:
+        if check not in ("strict", "warn"):
+            raise ValueError(
+                f"check={check!r}: expected None, 'strict' or 'warn'"
+            )
+        from repro.check import run_checks
+
+        report = run_checks(
+            problem, method,
+            page_size=page_size,
+            profile=profile,
+            partitions=DEFAULT_PARTITIONS if overlap else 1,
+            passes=("schedule", "memory"),
+            strict=(check == "strict"),
+        )
+        if not report.ok:  # only reachable in warn mode
+            import sys as _sys
+
+            print(report.render(), file=_sys.stderr)
     injector = FaultInjector(fault_plan) if fault_plan is not None else None
     envelope = verify_wire or injector is not None
     if envelope and retry is None:

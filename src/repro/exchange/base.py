@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.exchange.schedule import MessageSpec
+from repro.faults.errors import ExchangeConfigError, ProtocolError
 from repro.hardware.profiles import MachineProfile
 from repro.obs import METRICS as _METRICS
 from repro.obs import TRACER as _TRACER
@@ -24,7 +25,14 @@ from repro.simmpi.comm import CartComm
 from repro.util.bitset import BitSet
 from repro.util.timing import TimeBreakdown
 
-__all__ = ["Exchanger", "ExchangeChannel", "ExchangeResult", "exchange_tag"]
+__all__ = [
+    "Exchanger",
+    "ExchangeChannel",
+    "ExchangeResult",
+    "PlannedMessage",
+    "RankMessagePlan",
+    "exchange_tag",
+]
 
 _MAX_RUNS_PER_NEIGHBOR = 4096
 
@@ -32,8 +40,55 @@ _MAX_RUNS_PER_NEIGHBOR = 4096
 def exchange_tag(slab_dir_index: int, run: int) -> int:
     """Stable tag for (receiver's ghost-slab direction, run index)."""
     if not 0 <= run < _MAX_RUNS_PER_NEIGHBOR:
-        raise ValueError(f"run index {run} out of range")
+        raise ExchangeConfigError(f"run index {run} out of range")
     return slab_dir_index * _MAX_RUNS_PER_NEIGHBOR + run
+
+
+@dataclass(frozen=True)
+class PlannedMessage:
+    """One message of a rank's static exchange schedule.
+
+    A pure-geometry description of what :meth:`Exchanger.exchange` will
+    put on (or take off) the wire: enough for the static schedule
+    verifier (:mod:`repro.check`) to rebuild the global send/recv
+    multigraph without touching the fabric.
+
+    ``ranges`` are the *storage* byte intervals ``(offset, length)`` the
+    message reads from (sends) or writes into (receives) for the
+    zero-copy schemes that wire brick storage directly (layout / basic /
+    memmap / brickpack sections); ``None`` for schemes whose wire buffer
+    is separate staging (pack / mpi_types / shift), where storage
+    aliasing is structurally impossible.  ``phase`` orders barrier-
+    separated sub-exchanges (Shift's per-axis rounds); schedules with a
+    single phase use 0.  ``partitions`` overrides the plan-wide
+    partition count for this message (``None`` = inherit), which the
+    mutation harness uses to model split disagreements.
+    """
+
+    peer: int
+    tag: int
+    nbytes: int
+    phase: int = 0
+    ranges: Optional[Tuple[Tuple[int, int], ...]] = None
+    partitions: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class RankMessagePlan:
+    """One rank's complete per-step message schedule.
+
+    ``channelable`` mirrors whether :meth:`Exchanger.make_channel` can
+    flatten the schedule into one persistent batch (False for Shift,
+    whose intra-exchange barriers serialize the phases); ``nphases`` is
+    the number of barrier-separated rounds (1 for every flat schedule).
+    """
+
+    rank: int
+    method: str
+    sends: Tuple[PlannedMessage, ...]
+    recvs: Tuple[PlannedMessage, ...]
+    channelable: bool = True
+    nphases: int = 1
 
 
 @dataclass
@@ -102,15 +157,17 @@ class ExchangeChannel:
         partitions: int = 1,
     ) -> None:
         if comm.fabric.envelope_enabled:
-            raise ValueError(
+            raise ExchangeConfigError(
                 "exchange channels require an unverified fabric; the"
                 " envelope protocol is per-message"
             )
         if partitions < 1:
-            raise ValueError("partitions must be >= 1")
+            raise ExchangeConfigError("partitions must be >= 1")
         for _, _, buf in list(posts) + list(recvs):
             if not buf.flags.c_contiguous:
-                raise ValueError("channel buffers must be C-contiguous")
+                raise ExchangeConfigError(
+                    "channel buffers must be C-contiguous"
+                )
         self.comm = comm
         self.method = method
         self._fabric = comm.fabric
@@ -128,11 +185,18 @@ class ExchangeChannel:
         self._psend = None
         self._precv = None
         self._inflight = False
+        # Register both halves of the byte split with the fabric now, so
+        # a cross-rank disagreement (byte counts or partition bounds)
+        # surfaces at negotiation as a typed SplitMismatchError instead
+        # of a DeadlockError on the first wait.
+        self._fabric.negotiate_channel(
+            self._rank, self._posts, self._recvs, self._partitions
+        )
 
     def exchange(self) -> ExchangeResult:
         """Re-fire the negotiated plan; returns the precomputed result."""
         if self._inflight:
-            raise RuntimeError(
+            raise ProtocolError(
                 "channel has a phased exchange in flight; complete() it"
                 " before exchanging"
             )
@@ -166,7 +230,7 @@ class ExchangeChannel:
         that reads no ghost data before calling :meth:`complete`.
         """
         if self._inflight:
-            raise RuntimeError(
+            raise ProtocolError(
                 "channel already started; complete() the in-flight"
                 " exchange first"
             )
@@ -189,7 +253,7 @@ class ExchangeChannel:
     def complete(self) -> ExchangeResult:
         """Drain every receive partition, await send consumption, unpack."""
         if not self._inflight:
-            raise RuntimeError("complete() without a start()ed exchange")
+            raise ProtocolError("complete() without a start()ed exchange")
         rank = self._rank
         with _TRACER.span("exchange.complete", rank=rank, method=self.method):
             self._precv.complete()
@@ -226,6 +290,18 @@ class Exchanger(abc.ABC):
     @abc.abstractmethod
     def send_specs(self) -> List[MessageSpec]:
         """The modelled send schedule of this rank."""
+
+    def message_plan(self) -> RankMessagePlan:
+        """This rank's static per-step message schedule, from geometry.
+
+        The introspection hook of the static verifier: every executable
+        method implements it so :mod:`repro.check` can rebuild the
+        global send/recv multigraph (peers, tags, byte counts, storage
+        ranges) without allocating wire buffers or touching the fabric.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not expose a static message plan"
+        )
 
     def make_channel(self, partitions: int = 1) -> Optional[ExchangeChannel]:
         """Persistent-channel form of this exchanger's plan.

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Sequence, Tuple
 
+from repro.faults.errors import ExchangeConfigError
 from repro.util.bitset import BitSet
 
 __all__ = ["neighbor_send_box", "neighbor_recv_box", "box_slices"]
@@ -74,10 +75,10 @@ def box_slices(box: Box) -> Tuple[slice, ...]:
 
 def _check(neighbor: BitSet, extent: Sequence[int], ghost: int) -> None:
     if not neighbor:
-        raise ValueError("the empty set is not a neighbor")
+        raise ExchangeConfigError("the empty set is not a neighbor")
     if ghost <= 0:
-        raise ValueError("ghost width must be positive")
+        raise ExchangeConfigError("ghost width must be positive")
     if any(e < ghost for e in extent):
-        raise ValueError(
+        raise ExchangeConfigError(
             f"extent {tuple(extent)} smaller than the ghost width {ghost}"
         )

@@ -27,9 +27,12 @@ from repro.exchange.base import (
     ExchangeChannel,
     ExchangeResult,
     Exchanger,
+    PlannedMessage,
+    RankMessagePlan,
     exchange_tag,
 )
 from repro.exchange.schedule import MessageSpec
+from repro.faults.errors import ExchangeConfigError
 from repro.hardware.profiles import MachineProfile
 from repro.layout.messages import message_runs
 from repro.obs import METRICS as _METRICS
@@ -49,7 +52,7 @@ class BrickPackExchanger(Exchanger):
         self,
         comm: CartComm,
         decomp: BrickDecomp,
-        storage: BrickStorage,
+        storage: Optional[BrickStorage],  # None = plan-only
         assignment: Optional[SlotAssignment] = None,
         profile: Optional[MachineProfile] = None,
     ) -> None:
@@ -60,7 +63,8 @@ class BrickPackExchanger(Exchanger):
         self.storage = storage
         self.assignment = assignment or decomp.assignment(1)
         ndim = decomp.ndim
-        be = decomp.brick_bytes // storage.dtype.itemsize  # elems per brick
+        dtype = storage.dtype if storage is not None else decomp.dtype
+        be = decomp.brick_bytes // dtype.itemsize  # elems per brick
 
         self._plan: List[dict] = []
         for neighbor in decomp.layout:
@@ -104,8 +108,16 @@ class BrickPackExchanger(Exchanger):
                     "send_secs": send_secs,
                     "recv_secs": recv_secs,
                     # Persistent staging, reused every timestep.
-                    "send_buf": np.empty(n_send * be, dtype=storage.dtype),
-                    "recv_buf": np.empty(n_recv * be, dtype=storage.dtype),
+                    "send_buf": (
+                        np.empty(n_send * be, dtype=dtype)
+                        if storage is not None
+                        else None
+                    ),
+                    "recv_buf": (
+                        np.empty(n_recv * be, dtype=dtype)
+                        if storage is not None
+                        else None
+                    ),
                     "spec": MessageSpec(
                         neighbor,
                         payload_bytes=payload,
@@ -123,9 +135,51 @@ class BrickPackExchanger(Exchanger):
     def recv_specs(self) -> List[MessageSpec]:
         return [p["spec"] for p in self._plan]
 
+    def message_plan(self) -> RankMessagePlan:
+        """Static per-rank schedule with storage byte ranges per section.
+
+        The ranges describe where the *payload lives in brick storage*
+        (gather sources for sends, scatter targets for recvs), even
+        though the wire message itself is a staged contiguous buffer.
+        """
+        bb = self.decomp.brick_bytes
+        sends, recvs = [], []
+        for p in self._plan:
+            sends.append(
+                PlannedMessage(
+                    p["rank"],
+                    p["send_tag"],
+                    sum(s.nbricks for s in p["send_secs"]) * bb,
+                    ranges=tuple(
+                        (s.start * bb, s.nbricks * bb) for s in p["send_secs"]
+                    ),
+                )
+            )
+            recvs.append(
+                PlannedMessage(
+                    p["rank"],
+                    p["recv_tag"],
+                    sum(s.nbricks for s in p["recv_secs"]) * bb,
+                    ranges=tuple(
+                        (s.start * bb, s.nbricks * bb) for s in p["recv_secs"]
+                    ),
+                )
+            )
+        return RankMessagePlan(
+            self.comm.rank, self.method, tuple(sends), tuple(recvs)
+        )
+
+    def _require_storage(self) -> BrickStorage:
+        if self.storage is None:
+            raise ExchangeConfigError(
+                "BrickPackExchanger was built plan-only (storage=None); it"
+                " can describe its schedule but not execute an exchange"
+            )
+        return self.storage
+
     def _pack_sends(self) -> None:
         """Gather every neighbor's surface sections into its staging buffer."""
-        st = self.storage
+        st = self._require_storage()
         be = st.brick_elems
         for p in self._plan:
             buf, pos = p["send_buf"], 0
@@ -136,7 +190,7 @@ class BrickPackExchanger(Exchanger):
 
     def _unpack_recvs(self) -> None:
         """Scatter every received payload into its ghost sections."""
-        st = self.storage
+        st = self._require_storage()
         be = st.brick_elems
         for p in self._plan:
             buf, pos = p["recv_buf"], 0
@@ -146,6 +200,7 @@ class BrickPackExchanger(Exchanger):
                 pos += n
 
     def exchange(self) -> ExchangeResult:
+        self._require_storage()
         rank = self.comm.rank
         reqs = []
         with _TRACER.span("exchange.post", rank=rank, method=self.method):
@@ -188,6 +243,7 @@ class BrickPackExchanger(Exchanger):
         )
 
     def _build_channel(self, partitions):
+        self._require_storage()
         plan = self._plan
         return ExchangeChannel(
             self.comm,

@@ -33,6 +33,7 @@ from repro.simmpi.comm import CartComm
 from repro.util.bitset import BitSet
 from repro.vmem import default_arena
 from repro.vmem.layout_plan import plan_view
+from repro.faults.errors import ExchangeConfigError
 
 __all__ = ["RankDomainGrid"]
 
@@ -76,7 +77,7 @@ class RankDomainGrid:
         self.decomp = BrickDecomp(sub_extent, brick_dim, ghost, layout, dtype)
         ndim = self.decomp.ndim
         if len(self.local_dims) != ndim or len(cart.dims) != ndim:
-            raise ValueError("dimensionality mismatch")
+            raise ExchangeConfigError("dimensionality mismatch")
         self.page_size = int(page_size)
         align = self.decomp.alignment_for_page(self.page_size)
         self.assignment: SlotAssignment = self.decomp.assignment(align)
@@ -188,7 +189,7 @@ class RankDomainGrid:
             return None, local
         rank = self.cart.neighbor_rank(rank_step)
         if rank is None:  # pragma: no cover - periodic cart in practice
-            raise ValueError("open rank boundaries are not supported here")
+            raise ExchangeConfigError("open rank boundaries are not supported here")
         return rank, local
 
     # ------------------------------------------------------------------

@@ -21,8 +21,11 @@ from repro.exchange.base import (
     ExchangeChannel,
     ExchangeResult,
     Exchanger,
+    PlannedMessage,
+    RankMessagePlan,
     exchange_tag,
 )
+from repro.faults.errors import ExchangeConfigError
 from repro.exchange.schedule import MessageSpec
 from repro.hardware.profiles import MachineProfile
 from repro.layout.messages import message_runs
@@ -44,7 +47,7 @@ class LayoutExchanger(Exchanger):
         self,
         comm: CartComm,
         decomp: BrickDecomp,
-        storage: BrickStorage,
+        storage: Optional[BrickStorage],
         assignment: Optional[SlotAssignment] = None,
         profile: Optional[MachineProfile] = None,
         merge_runs: bool = True,
@@ -53,7 +56,7 @@ class LayoutExchanger(Exchanger):
 
         super().__init__(comm, profile or generic_host())
         self.decomp = decomp
-        self.storage = storage
+        self.storage = storage  # None = plan-only (static verification)
         self.merge_runs = bool(merge_runs)
         if not self.merge_runs:
             # One message per (region, neighbor) pair: the paper's Basic
@@ -67,7 +70,7 @@ class LayoutExchanger(Exchanger):
             # needs each section contiguous, which holds at any
             # alignment -- that is what lets a degraded MemMap rank fall
             # back to Layout exchange over its padded storage.
-            raise ValueError(
+            raise ExchangeConfigError(
                 "LayoutExchanger with merge_runs requires unpadded storage"
                 " (alignment 1); use MemMapExchanger for mmap_alloc"
                 " storage, or merge_runs=False"
@@ -144,8 +147,37 @@ class LayoutExchanger(Exchanger):
     def recv_specs(self) -> List[MessageSpec]:
         return [r["spec"] for r in self._recvs]
 
+    def message_plan(self) -> RankMessagePlan:
+        bb = self.decomp.brick_bytes
+        return RankMessagePlan(
+            rank=self.comm.rank,
+            method=self.method,
+            sends=tuple(
+                PlannedMessage(
+                    peer=s["rank"], tag=s["tag"], nbytes=s["nbricks"] * bb,
+                    ranges=((s["slot_start"] * bb, s["nbricks"] * bb),),
+                )
+                for s in self._sends
+            ),
+            recvs=tuple(
+                PlannedMessage(
+                    peer=r["rank"], tag=r["tag"], nbytes=r["nbricks"] * bb,
+                    ranges=((r["slot_start"] * bb, r["nbricks"] * bb),),
+                )
+                for r in self._recvs
+            ),
+        )
+
+    def _require_storage(self) -> BrickStorage:
+        if self.storage is None:
+            raise ExchangeConfigError(
+                f"{type(self).__name__} was built plan-only (no storage);"
+                " it can be introspected but not exchanged"
+            )
+        return self.storage
+
     def exchange(self) -> ExchangeResult:
-        st = self.storage
+        st = self._require_storage()
         rank = self.comm.rank
         reqs = []
         with _TRACER.span("exchange.post", rank=rank, method=self.method):
@@ -180,7 +212,7 @@ class LayoutExchanger(Exchanger):
         )
 
     def _build_channel(self, partitions):
-        st = self.storage
+        st = self._require_storage()
         return ExchangeChannel(
             self.comm,
             self.method,

@@ -36,6 +36,7 @@ from repro.brick.info import BrickInfo
 from repro.brick.storage import BrickStorage
 from repro.util.bitset import BitSet
 from repro.vmem import default_arena
+from repro.faults.errors import ExchangeConfigError
 
 __all__ = ["LocalDomainGrid"]
 
@@ -69,12 +70,12 @@ class LocalDomainGrid:
     ) -> None:
         self.domain_dims = tuple(int(d) for d in domain_dims)
         if any(d <= 0 for d in self.domain_dims):
-            raise ValueError("domain_dims must be positive")
+            raise ExchangeConfigError("domain_dims must be positive")
         self.decomp = BrickDecomp(
             sub_extent, brick_dim, ghost, layout, dtype, nfields
         )
         if len(self.domain_dims) != self.decomp.ndim:
-            raise ValueError("domain_dims dimensionality mismatch")
+            raise ExchangeConfigError("domain_dims dimensionality mismatch")
         self.page_size = int(page_size)
         align = self.decomp.alignment_for_page(self.page_size)
         self.assignment: SlotAssignment = self.decomp.assignment(align)
@@ -200,7 +201,7 @@ class LocalDomainGrid:
             s * d for s, d in zip(reversed(sub), reversed(self.domain_dims))
         )
         if global_arr.shape != expected:
-            raise ValueError(
+            raise ExchangeConfigError(
                 f"global array shape {global_arr.shape}, expected {expected}"
             )
         own = owned_slices(sub, g)

@@ -31,8 +31,11 @@ from repro.exchange.base import (
     ExchangeChannel,
     ExchangeResult,
     Exchanger,
+    PlannedMessage,
+    RankMessagePlan,
     exchange_tag,
 )
+from repro.faults.errors import ExchangeConfigError
 from repro.exchange.schedule import MessageSpec
 from repro.hardware.profiles import MachineProfile
 from repro.layout.messages import message_runs
@@ -49,20 +52,27 @@ __all__ = ["MemMapExchanger", "ExchangeView"]
 
 @dataclass
 class ExchangeView:
-    """Paired send/recv views for one neighbor."""
+    """Paired send/recv views for one neighbor.
+
+    The views are ``None`` on a plan-only exchanger (static
+    verification), which computes the :class:`ViewPlan` pair without
+    materializing any mapping.
+    """
 
     neighbor: BitSet
     rank: int
     send_tag: int
     recv_tag: int
-    send_view: StitchedViewBase
-    recv_view: StitchedViewBase
     send_plan: ViewPlan
     recv_plan: ViewPlan
+    send_view: Optional[StitchedViewBase] = None
+    recv_view: Optional[StitchedViewBase] = None
 
     def close(self) -> None:
-        self.send_view.close()
-        self.recv_view.close()
+        if self.send_view is not None:
+            self.send_view.close()
+        if self.recv_view is not None:
+            self.recv_view.close()
 
 
 class MemMapExchanger(Exchanger):
@@ -74,7 +84,7 @@ class MemMapExchanger(Exchanger):
         self,
         comm: CartComm,
         decomp: BrickDecomp,
-        storage: BrickStorage,
+        storage: Optional[BrickStorage],
         assignment: SlotAssignment,
         profile: Optional[MachineProfile] = None,
         page_size: Optional[int] = None,
@@ -82,18 +92,24 @@ class MemMapExchanger(Exchanger):
         from repro.hardware.profiles import generic_host
 
         super().__init__(comm, profile or generic_host())
-        if not storage.can_map:
-            raise ValueError(
+        if storage is not None and not storage.can_map:
+            raise ExchangeConfigError(
                 "MemMapExchanger needs mapping-capable storage; allocate it"
                 " with BrickDecomp.mmap_alloc"
             )
         self.decomp = decomp
-        self.storage = storage
+        self.storage = storage  # None = plan-only (static verification)
         self.assignment = assignment
-        self.page_size = page_size or storage.arena.page_size
+        if page_size is None and storage is not None:
+            page_size = storage.arena.page_size
+        if page_size is None:
+            raise ExchangeConfigError(
+                "plan-only MemMapExchanger needs an explicit page_size"
+            )
+        self.page_size = page_size
         expected_align = decomp.alignment_for_page(self.page_size)
         if assignment.alignment % expected_align:
-            raise ValueError(
+            raise ExchangeConfigError(
                 f"storage alignment {assignment.alignment} is not page-"
                 f"aligned for {self.page_size}-byte pages"
             )
@@ -137,10 +153,16 @@ class MemMapExchanger(Exchanger):
                         direction_index(opp.to_vector(ndim)), 0
                     ),
                     recv_tag=exchange_tag(direction_index(vec), 0),
-                    send_view=storage.make_view(send_plan.chunks),
-                    recv_view=storage.make_view(recv_plan.chunks),
                     send_plan=send_plan,
                     recv_plan=recv_plan,
+                    send_view=(
+                        storage.make_view(send_plan.chunks)
+                        if storage is not None else None
+                    ),
+                    recv_view=(
+                        storage.make_view(recv_plan.chunks)
+                        if storage is not None else None
+                    ),
                 )
             )
         self._check_mapping_budget()
@@ -150,7 +172,7 @@ class MemMapExchanger(Exchanger):
         total = self.mapping_count
         limit = self.profile.mmap_limit
         if total > limit:
-            raise ValueError(
+            raise ExchangeConfigError(
                 f"exchange needs {total} mappings, over the per-process"
                 f" limit of {limit} (vm.max_map_count); use a coarser"
                 " layout or fewer fields"
@@ -188,7 +210,37 @@ class MemMapExchanger(Exchanger):
             for v in self.views
         ]
 
+    def message_plan(self) -> RankMessagePlan:
+        return RankMessagePlan(
+            rank=self.comm.rank,
+            method=self.method,
+            sends=tuple(
+                PlannedMessage(
+                    peer=v.rank, tag=v.send_tag,
+                    nbytes=v.send_plan.mapped_bytes,
+                    ranges=tuple(v.send_plan.chunks),
+                )
+                for v in self.views
+            ),
+            recvs=tuple(
+                PlannedMessage(
+                    peer=v.rank, tag=v.recv_tag,
+                    nbytes=v.recv_plan.mapped_bytes,
+                    ranges=tuple(v.recv_plan.chunks),
+                )
+                for v in self.views
+            ),
+        )
+
+    def _require_views(self) -> None:
+        if self.storage is None:
+            raise ExchangeConfigError(
+                "MemMapExchanger was built plan-only (no storage); it can"
+                " be introspected but not exchanged"
+            )
+
     def exchange(self) -> ExchangeResult:
+        self._require_views()
         rank = self.comm.rank
         reqs = []
         with _TRACER.span("exchange.post", rank=rank, method=self.method):
@@ -231,6 +283,7 @@ class MemMapExchanger(Exchanger):
         )
 
     def _build_channel(self, partitions):
+        self._require_views()
         views = self.views
 
         def refresh() -> None:

@@ -11,7 +11,7 @@ slow on KNL (MemMap is "460x faster than MPI_Types"), which the profile's
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -20,8 +20,11 @@ from repro.exchange.base import (
     ExchangeChannel,
     ExchangeResult,
     Exchanger,
+    PlannedMessage,
+    RankMessagePlan,
     exchange_tag,
 )
+from repro.faults.errors import ExchangeConfigError
 from repro.exchange.boxes import neighbor_recv_box, neighbor_send_box
 from repro.exchange.schedule import MessageSpec, array_schedule
 from repro.hardware.profiles import MachineProfile
@@ -43,27 +46,33 @@ class MPITypesExchanger(Exchanger):
     def __init__(
         self,
         comm: CartComm,
-        array: np.ndarray,
+        array: Optional[np.ndarray],
         extent: Sequence[int],
         ghost: int,
         profile: MachineProfile,
+        dtype=np.float64,
     ) -> None:
         super().__init__(comm, profile)
         self.extent = tuple(int(e) for e in extent)
         self.ghost = int(ghost)
         ndim = len(self.extent)
         expected = tuple(e + 2 * self.ghost for e in reversed(self.extent))
-        if array.shape != expected:
-            raise ValueError(
-                f"extended array shape {array.shape}, expected {expected}"
-            )
-        self.array = array
-        self._specs = array_schedule(self.extent, self.ghost, array.dtype.itemsize)
+        if array is not None:
+            if array.shape != expected:
+                raise ExchangeConfigError(
+                    f"extended array shape {array.shape}, expected {expected}"
+                )
+            dtype = array.dtype
+        self.array = array  # None = plan-only (static verification)
+        self.dtype = np.dtype(dtype)
+        self._specs = array_schedule(
+            self.extent, self.ghost, self.dtype.itemsize
+        )
 
         def subarray(box):
             lo, ext = box
             return SubarrayType(
-                shape=array.shape,
+                shape=expected,
                 subshape=tuple(reversed(ext)),
                 start=tuple(reversed(lo)),
             )
@@ -87,7 +96,10 @@ class MPITypesExchanger(Exchanger):
                     "recv_tag": exchange_tag(
                         direction_index(neighbor.to_vector(ndim)), 0
                     ),
-                    "recv_buf": np.empty(recv_t.count, dtype=array.dtype),
+                    "recv_buf": (
+                        np.empty(recv_t.count, dtype=array.dtype)
+                        if array is not None else None
+                    ),
                 }
             )
         planned = {p["neighbor"] for p in self._plan}
@@ -97,8 +109,37 @@ class MPITypesExchanger(Exchanger):
     def send_specs(self) -> List[MessageSpec]:
         return list(self._specs)
 
+    def message_plan(self) -> RankMessagePlan:
+        itemsize = self.dtype.itemsize
+        return RankMessagePlan(
+            rank=self.comm.rank,
+            method=self.method,
+            sends=tuple(
+                PlannedMessage(
+                    peer=p["rank"], tag=p["send_tag"],
+                    nbytes=p["send_type"].count * itemsize,
+                )
+                for p in self._plan
+            ),
+            recvs=tuple(
+                PlannedMessage(
+                    peer=p["rank"], tag=p["recv_tag"],
+                    nbytes=p["recv_type"].count * itemsize,
+                )
+                for p in self._plan
+            ),
+        )
+
+    def _require_array(self) -> np.ndarray:
+        if self.array is None:
+            raise ExchangeConfigError(
+                f"{type(self).__name__} was built plan-only (no array);"
+                " it can be introspected but not exchanged"
+            )
+        return self.array
+
     def exchange(self) -> ExchangeResult:
-        arr = self.array
+        arr = self._require_array()
         rank = self.comm.rank
         reqs = []
         with _TRACER.span("exchange.post", rank=rank, method=self.method):
@@ -142,7 +183,7 @@ class MPITypesExchanger(Exchanger):
         )
 
     def _build_channel(self, partitions):
-        arr = self.array
+        arr = self._require_array()
         plan = self._plan
         # Persistent wire buffers: the per-step path allocates a fresh
         # extraction per message, the channel re-fills these instead.

@@ -14,7 +14,7 @@ themselves, not allocation.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -23,8 +23,11 @@ from repro.exchange.base import (
     ExchangeChannel,
     ExchangeResult,
     Exchanger,
+    PlannedMessage,
+    RankMessagePlan,
     exchange_tag,
 )
+from repro.faults.errors import ExchangeConfigError
 from repro.exchange.boxes import box_slices, neighbor_recv_box, neighbor_send_box
 from repro.exchange.schedule import MessageSpec, array_schedule
 from repro.hardware.profiles import MachineProfile
@@ -46,28 +49,35 @@ class PackExchanger(Exchanger):
     def __init__(
         self,
         comm: CartComm,
-        array: np.ndarray,
+        array: Optional[np.ndarray],
         extent: Sequence[int],
         ghost: int,
         profile: MachineProfile,
+        dtype=np.float64,
     ) -> None:
         super().__init__(comm, profile)
         self.extent = tuple(int(e) for e in extent)
         self.ghost = int(ghost)
         ndim = len(self.extent)
         expected = tuple(e + 2 * self.ghost for e in reversed(self.extent))
-        if array.shape != expected:
-            raise ValueError(
-                f"extended array shape {array.shape}, expected {expected}"
-            )
-        self.array = array
-        self._specs = array_schedule(self.extent, self.ghost, array.dtype.itemsize)
+        if array is not None:
+            if array.shape != expected:
+                raise ExchangeConfigError(
+                    f"extended array shape {array.shape}, expected {expected}"
+                )
+            dtype = array.dtype
+        self.array = array  # None = plan-only (static verification)
+        self.dtype = np.dtype(dtype)
+        self._specs = array_schedule(
+            self.extent, self.ghost, self.dtype.itemsize
+        )
 
         self._plan = []
         for neighbor in all_regions(ndim):
-            send_slc = box_slices(neighbor_send_box(neighbor, self.extent, self.ghost))
+            send_box = neighbor_send_box(neighbor, self.extent, self.ghost)
+            send_slc = box_slices(send_box)
             recv_slc = box_slices(neighbor_recv_box(neighbor, self.extent, self.ghost))
-            box_shape = array[send_slc].shape
+            box_shape = tuple(reversed(send_box[1]))
             count = int(np.prod(box_shape))
             rank = comm.neighbor_rank(neighbor.to_vector(ndim))
             if rank is None:
@@ -78,26 +88,30 @@ class PackExchanger(Exchanger):
             # Persistent staging: the flat buffers go on the wire; the
             # box-shaped reshapes of the same memory let pack/unpack run
             # as one strided copy each, with no per-step temporaries.
-            send_buf = np.empty(count, dtype=array.dtype)
-            recv_buf = np.empty(count, dtype=array.dtype)
-            self._plan.append(
-                {
-                    "neighbor": neighbor,
-                    "rank": rank,
-                    "send_slices": send_slc,
-                    "recv_slices": recv_slc,
-                    "send_tag": exchange_tag(
-                        direction_index(neighbor.opposite().to_vector(ndim)), 0
-                    ),
-                    "recv_tag": exchange_tag(
-                        direction_index(neighbor.to_vector(ndim)), 0
-                    ),
-                    "send_buf": send_buf,
-                    "recv_buf": recv_buf,
-                    "send_view": send_buf.reshape(box_shape),
-                    "recv_view": recv_buf.reshape(box_shape),
-                }
-            )
+            # Plan-only exchangers skip the allocation entirely.
+            entry = {
+                "neighbor": neighbor,
+                "rank": rank,
+                "send_slices": send_slc,
+                "recv_slices": recv_slc,
+                "count": count,
+                "send_tag": exchange_tag(
+                    direction_index(neighbor.opposite().to_vector(ndim)), 0
+                ),
+                "recv_tag": exchange_tag(
+                    direction_index(neighbor.to_vector(ndim)), 0
+                ),
+            }
+            if array is not None:
+                send_buf = np.empty(count, dtype=array.dtype)
+                recv_buf = np.empty(count, dtype=array.dtype)
+                entry.update(
+                    send_buf=send_buf,
+                    recv_buf=recv_buf,
+                    send_view=send_buf.reshape(box_shape),
+                    recv_view=recv_buf.reshape(box_shape),
+                )
+            self._plan.append(entry)
         planned = {p["neighbor"] for p in self._plan}
         self._specs = [m for m in self._specs if m.neighbor in planned]
 
@@ -105,8 +119,37 @@ class PackExchanger(Exchanger):
     def send_specs(self) -> List[MessageSpec]:
         return list(self._specs)
 
+    def message_plan(self) -> RankMessagePlan:
+        itemsize = self.dtype.itemsize
+        return RankMessagePlan(
+            rank=self.comm.rank,
+            method=self.method,
+            sends=tuple(
+                PlannedMessage(
+                    peer=p["rank"], tag=p["send_tag"],
+                    nbytes=p["count"] * itemsize,
+                )
+                for p in self._plan
+            ),
+            recvs=tuple(
+                PlannedMessage(
+                    peer=p["rank"], tag=p["recv_tag"],
+                    nbytes=p["count"] * itemsize,
+                )
+                for p in self._plan
+            ),
+        )
+
+    def _require_array(self) -> np.ndarray:
+        if self.array is None:
+            raise ExchangeConfigError(
+                f"{type(self).__name__} was built plan-only (no array);"
+                " it can be introspected but not exchanged"
+            )
+        return self.array
+
     def exchange(self) -> ExchangeResult:
-        arr = self.array
+        arr = self._require_array()
         rank = self.comm.rank
         # Phase 1: post every receive before any send (deadlock-free).
         reqs = []
@@ -153,7 +196,7 @@ class PackExchanger(Exchanger):
         )
 
     def _build_channel(self, partitions):
-        arr = self.array
+        arr = self._require_array()
         plan = self._plan
 
         def pack() -> None:

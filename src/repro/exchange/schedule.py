@@ -21,6 +21,7 @@ from repro.layout.messages import message_runs
 from repro.layout.regions import all_regions, region_brick_extent
 from repro.util.bitset import BitSet
 from repro.util.indexing import ceil_div
+from repro.faults.errors import ExchangeConfigError
 
 __all__ = [
     "MessageSpec",
@@ -53,7 +54,7 @@ class MessageSpec:
 
     def __post_init__(self) -> None:
         if self.payload_bytes < 0 or self.wire_bytes < self.payload_bytes:
-            raise ValueError("wire size must be at least the payload size")
+            raise ExchangeConfigError("wire size must be at least the payload size")
 
 
 def _region_bricks(region: BitSet, grid: Sequence[int], width: int) -> int:
@@ -159,7 +160,7 @@ def shift_schedule(
     extent = tuple(int(e) for e in extent)
     ndim = len(extent)
     if ghost <= 0:
-        raise ValueError("ghost width must be positive")
+        raise ExchangeConfigError("ghost width must be positive")
     ext_shape = tuple(e + 2 * ghost for e in extent)
     phases: List[List[MessageSpec]] = []
     for axis in range(ndim):
@@ -209,7 +210,7 @@ def memmap_schedule(
     """
     ndim = len(tuple(grid))
     if page_size <= 0:
-        raise ValueError("page_size must be positive")
+        raise ExchangeConfigError("page_size must be positive")
     align = math.lcm(brick_bytes, page_size)
     out: List[MessageSpec] = []
     for neighbor in all_regions(ndim):
@@ -254,7 +255,7 @@ def array_schedule(
     extent = tuple(int(e) for e in extent)
     ndim = len(extent)
     if ghost <= 0:
-        raise ValueError("ghost width must be positive")
+        raise ExchangeConfigError("ghost width must be positive")
     ext_shape = tuple(e + 2 * ghost for e in extent)  # axis order 1..D
     out: List[MessageSpec] = []
     for neighbor in all_regions(ndim):

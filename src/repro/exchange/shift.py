@@ -15,12 +15,18 @@ non-contiguous boxes of a lexicographic array).
 from __future__ import annotations
 
 import math
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.exchange.base import ExchangeResult, Exchanger
+from repro.exchange.base import (
+    ExchangeResult,
+    Exchanger,
+    PlannedMessage,
+    RankMessagePlan,
+)
 from repro.exchange.schedule import MessageSpec
+from repro.faults.errors import ExchangeConfigError
 from repro.hardware.profiles import MachineProfile
 from repro.obs import METRICS as _METRICS
 from repro.obs import TRACER as _TRACER
@@ -39,21 +45,25 @@ class ShiftExchanger(Exchanger):
     def __init__(
         self,
         comm: CartComm,
-        array: np.ndarray,
+        array: Optional[np.ndarray],
         extent: Sequence[int],
         ghost: int,
         profile: MachineProfile,
+        dtype: np.dtype = np.float64,
     ) -> None:
         super().__init__(comm, profile)
         self.extent = tuple(int(e) for e in extent)
         self.ghost = int(ghost)
         ndim = len(self.extent)
         expected = tuple(e + 2 * self.ghost for e in reversed(self.extent))
-        if array.shape != expected:
-            raise ValueError(
-                f"extended array shape {array.shape}, expected {expected}"
-            )
+        if array is not None:
+            if array.shape != expected:
+                raise ExchangeConfigError(
+                    f"extended array shape {array.shape}, expected {expected}"
+                )
+            dtype = array.dtype
         self.array = array
+        self.dtype = np.dtype(dtype)
         self._phases = []  # one phase per axis, two directions each
         g = self.ghost
         for axis in range(ndim):  # axis order 1..D
@@ -104,12 +114,22 @@ class ShiftExchanger(Exchanger):
                         "recv_slices": np_recv,
                         "tag": 1000 + axis * 4 + (0 if sign < 0 else 1),
                         "rtag": 1000 + axis * 4 + (1 if sign < 0 else 0),
-                        "send_buf": np.empty(count, dtype=array.dtype),
-                        "recv_buf": np.empty(count, dtype=array.dtype),
+                        "count": count,
+                        "axis": axis,
+                        "send_buf": (
+                            np.empty(count, dtype=self.dtype)
+                            if array is not None
+                            else None
+                        ),
+                        "recv_buf": (
+                            np.empty(count, dtype=self.dtype)
+                            if array is not None
+                            else None
+                        ),
                         "spec": MessageSpec(
                             BitSet.from_vector(vec),
-                            count * array.dtype.itemsize,
-                            count * array.dtype.itemsize,
+                            count * self.dtype.itemsize,
+                            count * self.dtype.itemsize,
                             nsegments=max(1, count // run),
                             run_elems=run,
                         ),
@@ -121,8 +141,38 @@ class ShiftExchanger(Exchanger):
     def send_specs(self) -> List[MessageSpec]:
         return [p["spec"] for phase in self._phases for p in phase]
 
+    def message_plan(self) -> RankMessagePlan:
+        """Static per-rank schedule: one phase per axis, serialized."""
+        itemsize = self.dtype.itemsize
+        sends, recvs = [], []
+        for axis, phase in enumerate(self._phases):
+            for p in phase:
+                nbytes = p["count"] * itemsize
+                sends.append(
+                    PlannedMessage(p["rank"], p["tag"], nbytes, phase=axis)
+                )
+                recvs.append(
+                    PlannedMessage(p["rank"], p["rtag"], nbytes, phase=axis)
+                )
+        return RankMessagePlan(
+            self.comm.rank,
+            self.method,
+            tuple(sends),
+            tuple(recvs),
+            channelable=False,
+            nphases=len(self._phases),
+        )
+
+    def _require_array(self) -> np.ndarray:
+        if self.array is None:
+            raise ExchangeConfigError(
+                "ShiftExchanger was built plan-only (array=None); it can"
+                " describe its schedule but not execute an exchange"
+            )
+        return self.array
+
     def exchange(self) -> ExchangeResult:
-        arr = self.array
+        arr = self._require_array()
         rank = self.comm.rank
         breakdown = TimeBreakdown()
         for axis, phase in enumerate(self._phases):

@@ -5,11 +5,14 @@ and DESIGN.md for why retried exchanges are idempotent.
 """
 
 from repro.faults.errors import (
+    ExchangeConfigError,
     ExchangeIntegrityError,
     ExchangeTimeoutError,
     FaultError,
     InjectedCrashError,
+    ProtocolError,
     RankDeadError,
+    SplitMismatchError,
 )
 from repro.faults.plan import FaultPlan, RetryPolicy
 from repro.faults.runtime import VMEM_FAULTS, FaultEvent, FaultInjector, FaultPoints
@@ -20,6 +23,9 @@ __all__ = [
     "ExchangeTimeoutError",
     "InjectedCrashError",
     "RankDeadError",
+    "ProtocolError",
+    "SplitMismatchError",
+    "ExchangeConfigError",
     "FaultPlan",
     "RetryPolicy",
     "FaultEvent",

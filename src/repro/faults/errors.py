@@ -15,11 +15,52 @@ __all__ = [
     "ExchangeTimeoutError",
     "InjectedCrashError",
     "RankDeadError",
+    "ProtocolError",
+    "SplitMismatchError",
+    "ExchangeConfigError",
 ]
 
 
 class FaultError(RuntimeError):
     """Base of all detected-fault exceptions."""
+
+
+class ProtocolError(RuntimeError):
+    """The fabric/channel call protocol was violated by the caller.
+
+    Covers call-order misuse of the partitioned persistent requests
+    (``pready`` before ``start``, double ``start``) and of the phased
+    channel entry points (``complete`` without ``start``).  These are
+    caller bugs, not injected or detected faults, so this deliberately
+    does *not* derive from :class:`FaultError` -- a ``ProtocolError``
+    must never be classified as a detected fault by the chaos report.
+    """
+
+
+class SplitMismatchError(ProtocolError, ValueError):
+    """The two endpoints of a message disagree on its byte split.
+
+    Raised at *negotiation* time (channel construction,
+    ``send_init``/``recv_init``) when the sender and receiver register
+    different byte counts or partition bounds for the same
+    ``(src, dst, tag)`` edge -- the static schedule verifier
+    (:mod:`repro.check`) computes the same
+    :func:`~repro.simmpi.fabric.partition_bounds` split, so a run
+    admitted by ``repro check`` can never raise this.  Also a
+    ``ValueError`` so pre-existing handlers of the fabric's message
+    size-mismatch guard keep working.
+    """
+
+
+class ExchangeConfigError(ValueError):
+    """Invalid configuration of an exchanger, channel, or fabric.
+
+    The typed form of the argument-validation errors across
+    :mod:`repro.simmpi` and :mod:`repro.exchange`.  Subclasses
+    ``ValueError`` so blanket config handlers -- notably the
+    degradation ladder's ``(OSError, ValueError)`` net -- keep
+    working unchanged.
+    """
 
 
 class ExchangeIntegrityError(FaultError):

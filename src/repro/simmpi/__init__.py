@@ -20,12 +20,17 @@ from repro.simmpi.datatypes import ContiguousType, SubarrayType, VectorType
 from repro.simmpi.fabric import (
     AbortedError,
     DeadlockError,
+    ExchangeConfigError,
     ExchangeIntegrityError,
     ExchangeTimeoutError,
     FabricStats,
+    ProtocolError,
     RankDeadError,
     SimFabric,
+    SplitMismatchError,
     UnsupportedFabricError,
+    partition_bounds,
+    partition_tag,
 )
 from repro.simmpi.launcher import run_spmd
 from repro.simmpi.request import SimRequest
@@ -39,11 +44,16 @@ __all__ = [
     "ExchangeTimeoutError",
     "FabricStats",
     "RankDeadError",
+    "ExchangeConfigError",
+    "ProtocolError",
+    "SplitMismatchError",
     "SimComm",
     "SimFabric",
     "SimRequest",
     "UnsupportedFabricError",
     "SubarrayType",
+    "partition_bounds",
+    "partition_tag",
     "VectorType",
     "allgather",
     "allreduce",

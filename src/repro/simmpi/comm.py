@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.obs import TRACER as _TRACER
+from repro.faults.errors import ExchangeConfigError
 from repro.simmpi.fabric import SimFabric
 from repro.simmpi.request import SimRequest
 
@@ -25,7 +26,9 @@ class SimComm:
 
     def __init__(self, fabric: SimFabric, rank: int) -> None:
         if not 0 <= rank < fabric.nranks:
-            raise ValueError(f"rank {rank} outside fabric of {fabric.nranks}")
+            raise ExchangeConfigError(
+                f"rank {rank} outside fabric of {fabric.nranks}"
+            )
         self.fabric = fabric
         self.rank = rank
 
@@ -43,7 +46,7 @@ class SimComm:
         if not isinstance(buf, np.ndarray):
             raise TypeError("Irecv needs a NumPy buffer to receive into")
         if not buf.flags.c_contiguous:
-            raise ValueError("receive buffers must be C-contiguous")
+            raise ExchangeConfigError("receive buffers must be C-contiguous")
         fabric, rank = self.fabric, self.rank
 
         def complete() -> None:
@@ -99,12 +102,12 @@ class CartComm(SimComm):
         super().__init__(fabric, rank)
         self.dims = tuple(int(d) for d in dims)
         if any(d <= 0 for d in self.dims):
-            raise ValueError("cartesian dims must be positive")
+            raise ExchangeConfigError("cartesian dims must be positive")
         total = 1
         for d in self.dims:
             total *= d
         if total != fabric.nranks:
-            raise ValueError(
+            raise ExchangeConfigError(
                 f"cartesian grid {self.dims} needs {total} ranks,"
                 f" fabric has {fabric.nranks}"
             )
@@ -112,7 +115,7 @@ class CartComm(SimComm):
             periods = [True] * len(self.dims)
         self.periods = tuple(bool(p) for p in periods)
         if len(self.periods) != len(self.dims):
-            raise ValueError("periods length must match dims")
+            raise ExchangeConfigError("periods length must match dims")
         self.coords = self.rank_to_coords(rank)
 
     # ------------------------------------------------------------------
@@ -132,7 +135,9 @@ class CartComm(SimComm):
             if p:
                 c %= d
             elif not 0 <= c < d:
-                raise ValueError(f"coordinate {coords} outside non-periodic grid")
+                raise ExchangeConfigError(
+                    f"coordinate {coords} outside non-periodic grid"
+                )
             rank += c * stride
             stride *= d
         return rank
@@ -140,7 +145,7 @@ class CartComm(SimComm):
     def neighbor_rank(self, direction: Sequence[int]) -> Optional[int]:
         """Rank one step along *direction* (axis 1 first); None if off-grid."""
         if len(direction) != len(self.dims):
-            raise ValueError("direction dimensionality mismatch")
+            raise ExchangeConfigError("direction dimensionality mismatch")
         coords = []
         for c, d, p, step in zip(self.coords, self.dims, self.periods, direction):
             nc = c + int(step)

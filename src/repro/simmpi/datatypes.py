@@ -20,6 +20,8 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.faults.errors import ExchangeConfigError
+
 __all__ = ["Datatype", "ContiguousType", "VectorType", "SubarrayType"]
 
 
@@ -59,7 +61,9 @@ class ContiguousType(Datatype):
 
     def __init__(self, count: int, offset: int = 0) -> None:
         if count <= 0 or offset < 0:
-            raise ValueError("count must be positive and offset non-negative")
+            raise ExchangeConfigError(
+                "count must be positive and offset non-negative"
+            )
         self._count = int(count)
         self.offset = int(offset)
 
@@ -86,9 +90,9 @@ class VectorType(Datatype):
         self, nblocks: int, blocklength: int, stride: int, offset: int = 0
     ) -> None:
         if nblocks <= 0 or blocklength <= 0:
-            raise ValueError("nblocks and blocklength must be positive")
+            raise ExchangeConfigError("nblocks and blocklength must be positive")
         if stride < blocklength:
-            raise ValueError("stride must be at least blocklength")
+            raise ExchangeConfigError("stride must be at least blocklength")
         self.nblocks = int(nblocks)
         self.blocklength = int(blocklength)
         self.stride = int(stride)
@@ -128,10 +132,12 @@ class SubarrayType(Datatype):
         start: Tuple[int, ...],
     ) -> None:
         if not (len(shape) == len(subshape) == len(start)):
-            raise ValueError("shape/subshape/start dimensionality mismatch")
+            raise ExchangeConfigError(
+                "shape/subshape/start dimensionality mismatch"
+            )
         for full, sub, s in zip(shape, subshape, start):
             if sub <= 0 or s < 0 or s + sub > full:
-                raise ValueError(
+                raise ExchangeConfigError(
                     f"subarray {subshape}@{start} does not fit in {shape}"
                 )
         self.shape = tuple(int(x) for x in shape)
@@ -158,15 +164,21 @@ class SubarrayType(Datatype):
 
     def extract(self, arr: np.ndarray) -> np.ndarray:
         if arr.shape != self.shape:
-            raise ValueError(f"expected array of shape {self.shape}, got {arr.shape}")
+            raise ExchangeConfigError(
+                f"expected array of shape {self.shape}, got {arr.shape}"
+            )
         return np.ascontiguousarray(arr[self._slices()]).reshape(-1)
 
     def extract_into(self, arr: np.ndarray, out: np.ndarray) -> None:
         if arr.shape != self.shape:
-            raise ValueError(f"expected array of shape {self.shape}, got {arr.shape}")
+            raise ExchangeConfigError(
+                f"expected array of shape {self.shape}, got {arr.shape}"
+            )
         np.copyto(out.reshape(self.subshape), arr[self._slices()])
 
     def insert(self, arr: np.ndarray, buf: np.ndarray) -> None:
         if arr.shape != self.shape:
-            raise ValueError(f"expected array of shape {self.shape}, got {arr.shape}")
+            raise ExchangeConfigError(
+                f"expected array of shape {self.shape}, got {arr.shape}"
+            )
         arr[self._slices()] = buf.reshape(self.subshape)

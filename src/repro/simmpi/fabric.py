@@ -43,9 +43,12 @@ from typing import Deque, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.faults.errors import (
+    ExchangeConfigError,
     ExchangeIntegrityError,
     ExchangeTimeoutError,
+    ProtocolError,
     RankDeadError,
+    SplitMismatchError,
 )
 from repro.obs import METRICS as _METRICS
 from repro.obs import TRACER as _TRACER
@@ -56,12 +59,16 @@ __all__ = [
     "PartitionedSendRequest",
     "PartitionedRecvRequest",
     "partition_tag",
+    "partition_bounds",
     "DeadlockError",
     "AbortedError",
     "UnsupportedFabricError",
     "ExchangeIntegrityError",
     "ExchangeTimeoutError",
     "RankDeadError",
+    "ProtocolError",
+    "SplitMismatchError",
+    "ExchangeConfigError",
 ]
 
 #: Default seconds an unmatched operation waits before declaring a
@@ -125,26 +132,44 @@ _PARTITION_TAG_BASE = 1 << 20
 def partition_tag(tag: int, part: int) -> int:
     """Wire tag of partition *part* of a message with base tag *tag*."""
     if not 0 <= tag < _PARTITION_TAG_BASE:
-        raise ValueError(
+        raise ExchangeConfigError(
             f"base tag {tag} collides with the partition tag space"
         )
     if part < 0:
-        raise ValueError("partition index cannot be negative")
+        raise ExchangeConfigError("partition index cannot be negative")
     return (part + 1) * _PARTITION_TAG_BASE + tag
+
+
+def partition_bounds(nbytes: int, partitions: int) -> Tuple[Tuple[int, int], ...]:
+    """Equal byte-count partition intervals ``(lo, hi)`` of a message.
+
+    The single source of truth for the byte split: both wire endpoints
+    (:func:`_partition_views`), the channel negotiation
+    (:meth:`SimFabric.negotiate_channel`) and the static schedule
+    verifier (:mod:`repro.check`) derive their split from this helper,
+    so "checker says the split matches" and "the wire splits match" are
+    the same statement.  The partition count is clamped to the byte
+    count (every partition carries at least one byte; a zero-byte
+    message has exactly one empty partition).
+    """
+    n = int(nbytes)
+    if n < 0:
+        raise ExchangeConfigError("message byte count cannot be negative")
+    k = max(1, min(int(partitions), n)) if n else 1
+    cuts = [(n * p) // k for p in range(k + 1)]
+    return tuple((cuts[p], cuts[p + 1]) for p in range(k))
 
 
 def _partition_views(buf: np.ndarray, partitions: int) -> List[np.ndarray]:
     """Equal byte-count partitions of a flattened contiguous buffer.
 
-    Both endpoints compute the split independently from their own buffer;
-    the totals match (message sizes are negotiated), so splitting by bytes
-    keeps the two sides consistent even across dtype views.
+    Both endpoints compute the split independently from their own buffer
+    via :func:`partition_bounds`; the totals match (message sizes are
+    negotiated), so splitting by bytes keeps the two sides consistent
+    even across dtype views.
     """
     flat = np.ascontiguousarray(buf).reshape(-1).view(np.uint8)
-    n = flat.size
-    k = max(1, min(int(partitions), n)) if n else 1
-    bounds = [(n * p) // k for p in range(k + 1)]
-    return [flat[bounds[p]: bounds[p + 1]] for p in range(k)]
+    return [flat[lo:hi] for lo, hi in partition_bounds(flat.size, partitions)]
 
 
 class PartitionedSendRequest:
@@ -184,7 +209,7 @@ class PartitionedSendRequest:
     def start(self) -> None:
         """Arm a new epoch; every partition becomes not-ready."""
         if self._started:
-            raise RuntimeError(
+            raise ProtocolError(
                 "partitioned send already started; wait() the previous"
                 " epoch first"
             )
@@ -213,10 +238,10 @@ class PartitionedSendRequest:
     def pready(self, msg: int, part: int) -> None:
         """Mark one partition ready: its bytes go on the wire now."""
         if not self._started:
-            raise RuntimeError("pready before start on a partitioned send")
+            raise ProtocolError("pready before start on a partitioned send")
         dst, tag, view = self._msgs[msg][part]
         if (msg, part) in self._ready:
-            raise RuntimeError(
+            raise ProtocolError(
                 f"partition ({msg}, {part}) already marked ready this epoch"
             )
         self._ready.add((msg, part))
@@ -225,7 +250,7 @@ class PartitionedSendRequest:
     def pready_all(self) -> None:
         """Mark every not-yet-ready partition ready in one lock round."""
         if not self._started:
-            raise RuntimeError("pready before start on a partitioned send")
+            raise ProtocolError("pready before start on a partitioned send")
         items = []
         for m, parts in enumerate(self._msgs):
             for p, item in enumerate(parts):
@@ -238,7 +263,7 @@ class PartitionedSendRequest:
     def wait(self) -> None:
         """Complete the epoch: every ready partition consumed by its peer."""
         if not self._started:
-            raise RuntimeError("wait before start on a partitioned send")
+            raise ProtocolError("wait before start on a partitioned send")
         self._fabric.wait_send_batch(self._entries, self._src)
         self._entries = []
         self._started = False
@@ -277,7 +302,7 @@ class PartitionedRecvRequest:
 
     def start(self) -> None:
         if self._started:
-            raise RuntimeError(
+            raise ProtocolError(
                 "partitioned receive already started; complete() the"
                 " previous epoch first"
             )
@@ -287,7 +312,7 @@ class PartitionedRecvRequest:
     def parrived(self, msg: int, part: int) -> bool:
         """Non-blocking: has this partition's transmission arrived?"""
         if not self._started:
-            raise RuntimeError("parrived before start on a partitioned recv")
+            raise ProtocolError("parrived before start on a partitioned recv")
         if (msg, part) in self._drained:
             return True
         src, tag, _view = self._msgs[msg][part]
@@ -299,7 +324,7 @@ class PartitionedRecvRequest:
     def complete(self) -> None:
         """Block until every partition is delivered into its sub-view."""
         if not self._started:
-            raise RuntimeError("complete before start on a partitioned recv")
+            raise ProtocolError("complete before start on a partitioned recv")
         self._fabric.complete_recv_batch(self._dst, self._flat)
         self._drained.update(
             (m, p)
@@ -314,7 +339,7 @@ class SimFabric:
 
     def __init__(self, nranks: int, timeout: Optional[float] = None) -> None:
         if nranks <= 0:
-            raise ValueError("nranks must be positive")
+            raise ExchangeConfigError("nranks must be positive")
         self.nranks = nranks
         if timeout is None:
             env = os.environ.get(_TIMEOUT_ENV)
@@ -322,11 +347,11 @@ class SimFabric:
                 try:
                     timeout = float(env)
                 except ValueError:
-                    raise ValueError(
+                    raise ExchangeConfigError(
                         f"{_TIMEOUT_ENV}={env!r} is not a valid number"
                     ) from None
         if timeout is not None and timeout <= 0:
-            raise ValueError("fabric timeout must be positive")
+            raise ExchangeConfigError("fabric timeout must be positive")
         self._timeout = timeout
         self._lock = threading.Condition()
         self._mailboxes: Dict[Tuple[int, int, int], Deque[_SendEntry]] = defaultdict(
@@ -347,6 +372,15 @@ class SimFabric:
         self._delivered: Dict[Tuple[int, int, int], int] = {}
         self._posted_epoch: Dict[Tuple[int, int, int], int] = {}
         self._replay: Dict[Tuple[int, int, int], Tuple[int, np.ndarray]] = {}
+        # -- negotiated byte splits, per edge and side -------------------
+        # (src, dst, tag) -> {"send"/"recv": partition_bounds(...)}.  Both
+        # endpoints of every persistent channel / partitioned request
+        # register their half; a disagreement surfaces here, at
+        # negotiation time, as a typed SplitMismatchError instead of a
+        # DeadlockError at wait time.
+        self._splits: Dict[
+            Tuple[int, int, int], Dict[str, Tuple[Tuple[int, int], ...]]
+        ] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -356,7 +390,7 @@ class SimFabric:
 
     def set_timeout(self, timeout: Optional[float]) -> None:
         if timeout is not None and timeout <= 0:
-            raise ValueError("fabric timeout must be positive")
+            raise ExchangeConfigError("fabric timeout must be positive")
         self._timeout = timeout
 
     # ------------------------------------------------------------------
@@ -425,7 +459,7 @@ class SimFabric:
         (the default) disables the classification.
         """
         if seconds is not None and seconds <= 0:
-            raise ValueError("heartbeat deadline must be positive")
+            raise ExchangeConfigError("heartbeat deadline must be positive")
         with self._lock:
             self._heartbeat_deadline = seconds
 
@@ -459,7 +493,9 @@ class SimFabric:
     # ------------------------------------------------------------------
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.nranks:
-            raise ValueError(f"rank {rank} outside communicator of {self.nranks}")
+            raise ExchangeConfigError(
+                f"rank {rank} outside communicator of {self.nranks}"
+            )
 
     def post_send(self, src: int, dst: int, tag: int, buf: np.ndarray) -> _SendEntry:
         """Deposit a send; returns the entry whose event marks completion."""
@@ -698,6 +734,59 @@ class SimFabric:
     # partitioned requests refuse verified fabrics: the envelope protocol
     # is strictly per-message.
     # ------------------------------------------------------------------
+    def register_split(self, src: int, dst: int, tag: int, nbytes: int,
+                       partitions: int, side: str) -> None:
+        """Record one endpoint's byte split of edge ``(src, dst, tag)``.
+
+        *side* is ``"send"`` (registered by *src*) or ``"recv"``
+        (registered by *dst*).  The first endpoint to negotiate records
+        its :func:`partition_bounds`; the second is compared against it
+        and a disagreement raises :class:`SplitMismatchError`
+        immediately -- the same split the static schedule verifier
+        computes, so this is the runtime backstop of the
+        ``partition-split-mismatch`` check.  Re-registering a *changed*
+        split (a rebuilt channel, e.g. after ladder demotion) drops the
+        peer's stale half so the peer's own re-negotiation re-arms the
+        comparison instead of tripping on outdated state.
+        """
+        bounds = partition_bounds(nbytes, partitions)
+        edge = (src, dst, tag)
+        other = "recv" if side == "send" else "send"
+        with self._lock:
+            sides = self._splits.setdefault(edge, {})
+            prev = sides.get(side)
+            if prev is not None and prev != bounds:
+                sides.pop(other, None)
+            sides[side] = bounds
+            peer = sides.get(other)
+        if peer is not None and peer != bounds:
+            raise SplitMismatchError(
+                f"byte split disagreement on (src={src}, dst={dst},"
+                f" tag={tag}): {side} side splits {nbytes} bytes into"
+                f" {len(bounds)} partition(s), {other} side negotiated"
+                f" {peer[-1][1]} bytes in {len(peer)} partition(s)"
+            )
+
+    def negotiate_channel(self, rank: int, posts, recvs,
+                          partitions: int = 1) -> None:
+        """Register a channel's whole message plan with the split registry.
+
+        Called once per :class:`~repro.exchange.base.ExchangeChannel` at
+        construction: *posts* are ``(dst, tag, buf)`` and *recvs* are
+        ``(src, tag, buf)`` exactly as the channel will fire them, so a
+        byte-count or partition-split disagreement between two ranks'
+        channels surfaces at negotiation, before any message is posted.
+        """
+        self._check_rank(rank)
+        if partitions < 1:
+            raise ExchangeConfigError("partitions must be >= 1")
+        for dst, tag, buf in posts:
+            self._check_rank(dst)
+            self.register_split(rank, dst, tag, buf.nbytes, partitions, "send")
+        for src, tag, buf in recvs:
+            self._check_rank(src)
+            self.register_split(src, rank, tag, buf.nbytes, partitions, "recv")
+
     def send_init(self, src: int, posts,
                   partitions: int = 1) -> PartitionedSendRequest:
         """Build a persistent partitioned send over ``(dst, tag, buf)``."""
@@ -708,10 +797,11 @@ class SimFabric:
                 " verified fabric; use the per-message protocol"
             )
         if partitions < 1:
-            raise ValueError("partitions must be >= 1")
+            raise ExchangeConfigError("partitions must be >= 1")
         posts = list(posts)
-        for dst, _tag, _buf in posts:
+        for dst, tag, buf in posts:
             self._check_dst_alive(src, dst)
+            self.register_split(src, dst, tag, buf.nbytes, partitions, "send")
         return PartitionedSendRequest(self, src, posts, partitions)
 
     def recv_init(self, dst: int, recvs,
@@ -724,7 +814,10 @@ class SimFabric:
                 " verified fabric; use the per-message protocol"
             )
         if partitions < 1:
-            raise ValueError("partitions must be >= 1")
+            raise ExchangeConfigError("partitions must be >= 1")
+        recvs = list(recvs)
+        for src, tag, buf in recvs:
+            self.register_split(src, dst, tag, buf.nbytes, partitions, "recv")
         return PartitionedRecvRequest(self, dst, recvs, partitions)
 
     def wait_send(self, entry: _SendEntry) -> None:
@@ -787,7 +880,7 @@ class SimFabric:
             src_flat = entry.buf.reshape(-1).view(flat.dtype)
             if src_flat.size != flat.size:
                 self.abort()
-                raise ValueError(
+                raise SplitMismatchError(
                     f"message size mismatch on (src={src}, dst={dst},"
                     f" tag={tag}): sent {src_flat.size} elements, receiving"
                     f" {flat.size}"
@@ -807,7 +900,7 @@ class SimFabric:
         src_flat = src_buf.reshape(-1).view(flat.dtype)
         if src_flat.size != flat.size:
             self.abort()
-            raise ValueError(
+            raise SplitMismatchError(
                 f"message size mismatch on (src={edge[0]}, dst={edge[1]},"
                 f" tag={edge[2]}): sent {src_flat.size} elements, receiving"
                 f" {flat.size}"

@@ -12,10 +12,20 @@ import threading
 from threading import BrokenBarrierError
 from typing import Any, Callable, List, Optional
 
+from repro.faults.errors import ExchangeConfigError
 from repro.simmpi.comm import SimComm
 from repro.simmpi.fabric import AbortedError, SimFabric
 
-__all__ = ["run_spmd", "run_spmd_restartable"]
+__all__ = ["run_spmd", "run_spmd_restartable", "RankFailedError"]
+
+
+class RankFailedError(RuntimeError):
+    """One SPMD rank raised; the root cause is ``__cause__``.
+
+    Kept a ``RuntimeError`` subclass: the elastic/restart drivers catch
+    the launcher's wrapper as ``RuntimeError`` and classify on the
+    chained cause (e.g. :class:`~repro.faults.errors.RankDeadError`).
+    """
 
 
 def run_spmd(
@@ -35,12 +45,12 @@ def run_spmd(
     then the module default (30 s).
     """
     if nranks <= 0:
-        raise ValueError("nranks must be positive")
+        raise ExchangeConfigError("nranks must be positive")
     if fabric is not None and timeout is not None:
         fabric.set_timeout(timeout)
     fab = fabric or SimFabric(nranks, timeout=timeout)
     if fab.nranks != nranks:
-        raise ValueError("supplied fabric has the wrong size")
+        raise ExchangeConfigError("supplied fabric has the wrong size")
     results: List[Any] = [None] * nranks
     errors: List[Optional[BaseException]] = [None] * nranks
 
@@ -72,7 +82,7 @@ def run_spmd(
         (rank, err) for rank, err in enumerate(errors) if err is not None
     ]
     for rank, err in primary or secondary:
-        raise RuntimeError(f"rank {rank} failed: {err!r}") from err
+        raise RankFailedError(f"rank {rank} failed: {err!r}") from err
     return results
 
 

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Optional
 
+from repro.faults.errors import ExchangeConfigError
+
 __all__ = ["SimRequest"]
 
 
@@ -18,7 +20,9 @@ class SimRequest:
 
     def __init__(self, complete: Callable[[], None], kind: str) -> None:
         if kind not in ("send", "recv"):
-            raise ValueError(f"kind must be 'send' or 'recv', got {kind!r}")
+            raise ExchangeConfigError(
+                f"kind must be 'send' or 'recv', got {kind!r}"
+            )
         self._complete = complete
         self.kind = kind
         self.done = False

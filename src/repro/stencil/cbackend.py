@@ -44,7 +44,14 @@ from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["backend_choice", "batch_step_kernel", "batch_step_source"]
+__all__ = [
+    "KernelBoundsError",
+    "backend_choice",
+    "batch_step_kernel",
+    "batch_step_source",
+    "bounds_guard_enabled",
+    "sanitize_flags",
+]
 
 try:  # cffi ships with the baked toolchain, but stay importable without it
     import cffi
@@ -54,6 +61,62 @@ except ImportError:  # pragma: no cover - environment without cffi
 _lock = threading.Lock()
 _kernels: Dict[Tuple, Optional[Callable]] = {}
 _build_dirs: list = []
+
+#: sanitizers REPRO_CC_SANITIZE may request, mapped to compile flags
+_SANITIZERS = {
+    "address": "-fsanitize=address",
+    "undefined": "-fsanitize=undefined",
+}
+
+
+class KernelBoundsError(RuntimeError):
+    """The bounds-guarded C kernel observed out-of-range table indices.
+
+    Only raised when ``REPRO_CC_BOUNDS=1`` selects the guarded kernel
+    variant, which checks every gather load and scatter store against
+    the storage extents at runtime and reports the violation count
+    instead of touching memory out of bounds.
+    """
+
+
+def sanitize_flags() -> Tuple[str, ...]:
+    """Compile flags requested via ``REPRO_CC_SANITIZE``.
+
+    The variable holds a comma-separated subset of ``address`` and
+    ``undefined`` (e.g. ``REPRO_CC_SANITIZE=address,undefined``); any
+    sanitizer implies a debug-friendly build (``-g``,
+    ``-fno-omit-frame-pointer``).  Note ASan interposition requires the
+    host process to preload ``libasan`` (``LD_PRELOAD=$(cc
+    -print-file-name=libasan.so)``) because the kernel is ``dlopen``ed;
+    UBSan needs no preload.
+    """
+    raw = os.environ.get("REPRO_CC_SANITIZE", "").strip()
+    if not raw:
+        return ()
+    flags = []
+    for token in raw.split(","):
+        token = token.strip().lower()
+        if not token:
+            continue
+        if token not in _SANITIZERS:
+            raise ValueError(
+                f"REPRO_CC_SANITIZE token {token!r}: expected a comma"
+                f" list of {sorted(_SANITIZERS)}"
+            )
+        flags.append(_SANITIZERS[token])
+    if flags:
+        flags += ["-g", "-fno-omit-frame-pointer"]
+    return tuple(flags)
+
+
+def bounds_guard_enabled() -> bool:
+    """True when ``REPRO_CC_BOUNDS=1`` selects the guarded kernel."""
+    raw = os.environ.get("REPRO_CC_BOUNDS", "0").strip()
+    if raw not in ("", "0", "1"):
+        raise ValueError(
+            f"REPRO_CC_BOUNDS={raw!r}: expected 0 or 1"
+        )
+    return raw == "1"
 
 
 def backend_choice() -> str:
@@ -81,6 +144,7 @@ def batch_step_source(
     radius: int,
     field_offset: int,
     brick_elems: int,
+    guard: bool = False,
 ) -> str:
     """C source of the fused gather+stencil+scatter brick-batch kernel.
 
@@ -88,6 +152,14 @@ def batch_step_source(
     *src*/*dst* are the flat storage element arrays, *index* the plan's
     ``(nbricks, halo...)`` flat source-index table and *slots* the
     destination slot per brick.
+
+    With *guard* (``REPRO_CC_BOUNDS=1``) the signature grows
+    ``src_elems``/``dst_elems`` extents and returns the number of index
+    values that fell outside them: out-of-range gather loads contribute
+    ``0.0`` like absent cells, out-of-range scatter stores are skipped,
+    and the Python wrapper turns a nonzero count into
+    :class:`KernelBoundsError`.  Guarded and unguarded kernels are
+    bit-identical on in-bounds tables.
     """
     ndim = len(np_bd)
     halo_np = tuple(b + 2 * radius for b in np_bd)
@@ -115,16 +187,25 @@ def batch_step_source(
     body = []
     body.append("#include <stdint.h>")
     body.append("")
+    ret = "int64_t" if guard else "void"
     body.append(
-        "void repro_step(const double *restrict src,"
+        f"{ret} repro_step(const double *restrict src,"
         " double *restrict dst,"
     )
     body.append(
         "                const int64_t *restrict index,"
         " const int64_t *restrict slots,"
     )
-    body.append("                int64_t nbricks)")
+    if guard:
+        body.append(
+            "                int64_t nbricks,"
+            " int64_t src_elems, int64_t dst_elems)"
+        )
+    else:
+        body.append("                int64_t nbricks)")
     body.append("{")
+    if guard:
+        body.append("    int64_t violations = 0;")
     body.append("    int64_t b;")
     body.append("    for (b = 0; b < nbricks; ++b) {")
     body.append(f"        const int64_t *idx = index + b * {halo_elems};")
@@ -132,6 +213,11 @@ def batch_step_source(
         f"        double *out = dst + slots[b] * {brick_elems}"
         f" + {field_offset};"
     )
+    if guard:
+        body.append(
+            f"        const int64_t out_base = slots[b] * {brick_elems}"
+            f" + {field_offset};"
+        )
     indent = "        "
     loop_vars = [f"i{a}" for a in range(ndim)]
     for a in range(ndim):
@@ -144,10 +230,24 @@ def batch_step_source(
     body.append(f"{indent}const int64_t base = {base} + {center};")
     for slot, rel in enumerate(tap_offsets):
         body.append(f"{indent}const int64_t j{slot} = idx[base + ({rel})];")
-        body.append(
-            f"{indent}const double x{slot} ="
-            f" j{slot} < 0 ? 0.0 : src[j{slot}];"
-        )
+        if guard:
+            body.append(
+                f"{indent}const int ok{slot} ="
+                f" j{slot} >= 0 && j{slot} < src_elems;"
+            )
+            body.append(
+                f"{indent}if (j{slot} >= src_elems || j{slot} < -1)"
+                " ++violations;"
+            )
+            body.append(
+                f"{indent}const double x{slot} ="
+                f" ok{slot} ? src[j{slot}] : 0.0;"
+            )
+        else:
+            body.append(
+                f"{indent}const double x{slot} ="
+                f" j{slot} < 0 ? 0.0 : src[j{slot}];"
+            )
     slot0, c0 = tap_terms[0]
     body.append(f"{indent}double acc = {_hexf(c0)} * x{slot0};")
     if len(tap_terms) > 1:
@@ -160,16 +260,30 @@ def batch_step_source(
     for a in range(ndim - 2, -1, -1):
         bstr[a] = bstr[a + 1] * np_bd[a + 1]
     cell = " + ".join(f"{v} * {s}" for v, s in zip(loop_vars, bstr))
-    body.append(f"{indent}out[{cell}] = acc;")
+    if guard:
+        body.append(
+            f"{indent}if (out_base >= 0 &&"
+            f" out_base + ({cell}) < dst_elems)"
+        )
+        body.append(f"{indent}    out[{cell}] = acc;")
+        body.append(f"{indent}else ++violations;")
+    else:
+        body.append(f"{indent}out[{cell}] = acc;")
     for a in range(ndim):
         indent = indent[:-4]
         body.append(f"{indent}}}")
     body.append("    }")
+    if guard:
+        body.append("    return violations;")
     body.append("}")
     return "\n".join(body) + "\n"
 
 
-def _build(source: str) -> Optional[Callable]:
+def _build(
+    source: str,
+    guard: bool = False,
+    extra_flags: Sequence[str] = (),
+) -> Optional[Callable]:
     """Compile *source* into a loaded kernel; None when the toolchain
     refuses (caller decides whether that is fatal)."""
     if cffi is None:
@@ -185,6 +299,7 @@ def _build(source: str) -> Optional[Callable]:
         fh.write(source)
     cmd = [
         cc, "-O3", "-fPIC", "-shared", "-ffp-contract=off",
+        *extra_flags,
         "-o", so_path, c_path,
     ]
     try:
@@ -194,30 +309,66 @@ def _build(source: str) -> Optional[Callable]:
     except (OSError, subprocess.SubprocessError):
         return None
     ffi = cffi.FFI()
-    ffi.cdef(
-        "void repro_step(const double *src, double *dst,"
-        " const int64_t *index, const int64_t *slots, int64_t nbricks);"
-    )
+    if guard:
+        ffi.cdef(
+            "int64_t repro_step(const double *src, double *dst,"
+            " const int64_t *index, const int64_t *slots,"
+            " int64_t nbricks, int64_t src_elems, int64_t dst_elems);"
+        )
+    else:
+        ffi.cdef(
+            "void repro_step(const double *src, double *dst,"
+            " const int64_t *index, const int64_t *slots,"
+            " int64_t nbricks);"
+        )
     try:
         lib = ffi.dlopen(so_path)
     except OSError:
         return None
 
-    def step(
-        src_data: np.ndarray,
-        dst_data: np.ndarray,
-        index: np.ndarray,
-        slots: np.ndarray,
-        _ffi=ffi,
-        _fn=lib.repro_step,
-    ) -> None:
-        _fn(
-            _ffi.cast("const double *", _ffi.from_buffer(src_data)),
-            _ffi.cast("double *", _ffi.from_buffer(dst_data)),
-            _ffi.cast("const int64_t *", _ffi.from_buffer(index)),
-            _ffi.cast("const int64_t *", _ffi.from_buffer(slots)),
-            len(slots),
-        )
+    if guard:
+
+        def step(
+            src_data: np.ndarray,
+            dst_data: np.ndarray,
+            index: np.ndarray,
+            slots: np.ndarray,
+            _ffi=ffi,
+            _fn=lib.repro_step,
+        ) -> None:
+            violations = _fn(
+                _ffi.cast("const double *", _ffi.from_buffer(src_data)),
+                _ffi.cast("double *", _ffi.from_buffer(dst_data)),
+                _ffi.cast("const int64_t *", _ffi.from_buffer(index)),
+                _ffi.cast("const int64_t *", _ffi.from_buffer(slots)),
+                len(slots),
+                src_data.size,
+                dst_data.size,
+            )
+            if violations:
+                raise KernelBoundsError(
+                    f"bounds-guarded kernel observed {violations}"
+                    " out-of-range table index value(s)"
+                    " (REPRO_CC_BOUNDS=1)"
+                )
+
+    else:
+
+        def step(
+            src_data: np.ndarray,
+            dst_data: np.ndarray,
+            index: np.ndarray,
+            slots: np.ndarray,
+            _ffi=ffi,
+            _fn=lib.repro_step,
+        ) -> None:
+            _fn(
+                _ffi.cast("const double *", _ffi.from_buffer(src_data)),
+                _ffi.cast("double *", _ffi.from_buffer(dst_data)),
+                _ffi.cast("const int64_t *", _ffi.from_buffer(index)),
+                _ffi.cast("const int64_t *", _ffi.from_buffer(slots)),
+                len(slots),
+            )
 
     step.__source__ = source
     step.__lib__ = lib  # keep the dlopen handle alive with the kernel
@@ -253,18 +404,21 @@ def batch_step_kernel(
                 "REPRO_KERNEL_BACKEND=cffi supports float64 plans only"
             )
         return None
+    sanitize = sanitize_flags()
+    guard = bounds_guard_enabled()
     key = (
         tuple(taps), tuple(np_bd), int(radius), int(field_offset),
-        int(brick_elems),
+        int(brick_elems), sanitize, guard,
     )
     with _lock:
         if key in _kernels:
             fn = _kernels[key]
         else:
             source = batch_step_source(
-                taps, tuple(np_bd), radius, field_offset, brick_elems
+                taps, tuple(np_bd), radius, field_offset, brick_elems,
+                guard=guard,
             )
-            fn = _build(source)
+            fn = _build(source, guard=guard, extra_flags=sanitize)
             _kernels[key] = fn
     if fn is None and choice == "cffi":
         raise RuntimeError(

@@ -1,0 +1,293 @@
+"""Static verifier: clean geometries pass, mutations are caught, and the
+runtime negotiation raises the same typed errors the checker predicts."""
+
+import numpy as np
+import pytest
+
+from repro.check import (
+    CHECKABLE_METHODS,
+    CheckFailedError,
+    CheckReport,
+    MUTATIONS,
+    run_checks,
+    run_selftest,
+)
+from repro.check.cback import verify_cbackend
+from repro.check.report import Finding
+from repro.core.driver import run_executed
+from repro.core.problem import StencilProblem
+from repro.faults.errors import SplitMismatchError
+from repro.hardware.profiles import generic_host
+from repro.simmpi.fabric import SimFabric, partition_bounds
+from repro.simmpi.launcher import RankFailedError, run_spmd
+from repro.stencil import cbackend
+from repro.stencil.spec import SEVEN_POINT
+
+
+def problem(extent=(32, 32, 32), ranks=(2, 2, 2), **kw):
+    return StencilProblem(extent, ranks, SEVEN_POINT, (8, 8, 8), 8, **kw)
+
+
+# ----------------------------------------------------------------------
+# Clean geometries check clean
+# ----------------------------------------------------------------------
+class TestCleanGeometries:
+    @pytest.mark.parametrize("method", CHECKABLE_METHODS)
+    def test_multirank_clean(self, method):
+        rep = run_checks(
+            problem(), method, partitions=4,
+            passes=("schedule", "memory"),
+        )
+        assert rep.ok, rep.render()
+        assert rep.passes_run == ["schedule", "memory"]
+
+    @pytest.mark.parametrize("method", CHECKABLE_METHODS)
+    def test_single_rank_clean(self, method):
+        rep = run_checks(
+            problem((16, 16, 16), (1, 1, 1)), method,
+            passes=("schedule", "memory"),
+        )
+        assert rep.ok, rep.render()
+
+    @pytest.mark.parametrize("method", ("yask", "shift", "memmap", "basic"))
+    def test_open_boundaries_clean(self, method):
+        rep = run_checks(
+            problem(periodic=False), method,
+            passes=("schedule", "memory"),
+        )
+        assert rep.ok, rep.render()
+
+    def test_anisotropic_ranks_clean(self):
+        rep = run_checks(
+            problem((32, 32, 48), (1, 2, 3)), "memmap",
+            passes=("schedule", "memory"),
+        )
+        assert rep.ok, rep.render()
+
+    def test_unknown_pass_rejected(self):
+        with pytest.raises(ValueError, match="unknown pass"):
+            run_checks(problem(), "memmap", passes=("bogus",))
+
+    def test_model_only_method_rejected(self):
+        from repro.faults.errors import ExchangeConfigError
+
+        with pytest.raises(ExchangeConfigError, match="checkable"):
+            run_checks(problem(), "network")
+
+
+# ----------------------------------------------------------------------
+# Elastic decompositions
+# ----------------------------------------------------------------------
+class TestElastic:
+    def test_dead_rank_edges_flagged(self):
+        rep = run_checks(
+            problem(), "memmap", dead_ranks=(6, 7),
+            passes=("schedule",),
+        )
+        assert not rep.ok
+        assert rep.has("dead-rank-edge")
+        assert all(
+            6 in f.ranks or 7 in f.ranks
+            for f in rep.errors() if f.code == "dead-rank-edge"
+        )
+
+    def test_rebricked_world_clean(self):
+        # 8 -> 6 ranks: the shrunken decomposition avoids the lost node
+        # and checks clean again.
+        rep = run_checks(
+            problem((32, 32, 48), (1, 2, 3)), "memmap",
+            passes=("schedule", "memory"),
+        )
+        assert rep.ok, rep.render()
+
+
+# ----------------------------------------------------------------------
+# Mutation harness
+# ----------------------------------------------------------------------
+class TestSelftest:
+    def test_all_mutations_detected_default(self):
+        results = run_selftest()
+        assert all(results.values()), results
+        assert set(results) == set(MUTATIONS)
+
+    @pytest.mark.parametrize("method", ("layout", "brickpack", "yask"))
+    def test_all_mutations_detected_per_method(self, method):
+        results = run_selftest(methods=(method,))
+        assert all(results.values()), results
+
+
+# ----------------------------------------------------------------------
+# Report plumbing
+# ----------------------------------------------------------------------
+class TestReport:
+    def test_render_and_literal(self):
+        rep = CheckReport()
+        rep.passes_run.append("schedule")
+        rep.error(
+            "schedule", "orphan-send", "boom", ranks=(0, 1), tag=7,
+            hint="fix it",
+        )
+        rep.warning("schedule", "advice", "meh")
+        assert not rep.ok
+        text = rep.render()
+        assert "orphan-send" in text and "FAILED" in text
+        lit = rep.to_literal()
+        assert lit["ok"] is False
+        assert lit["findings"][0]["code"] == "orphan-send"
+        assert lit["findings"][0]["ranks"] == [0, 1]
+
+    def test_check_failed_error_carries_report(self):
+        rep = CheckReport()
+        rep.error("schedule", "byte-mismatch", "x")
+        err = CheckFailedError(rep)
+        assert err.report is rep
+        assert "byte-mismatch" in str(err)
+
+    def test_bad_severity_rejected(self):
+        rep = CheckReport()
+        with pytest.raises(ValueError):
+            rep.add(Finding("fatal", "schedule", "x", "y"))
+
+
+# ----------------------------------------------------------------------
+# Driver pre-flight
+# ----------------------------------------------------------------------
+class TestDriverPreflight:
+    def test_strict_check_passes_and_runs(self):
+        run = run_executed(
+            problem((16, 16, 32), (1, 1, 2)), "memmap",
+            generic_host(), timesteps=1, check="strict",
+        )
+        assert run.method == "memmap"
+
+    def test_bad_check_value_rejected(self):
+        with pytest.raises(ValueError, match="check="):
+            run_executed(
+                problem((16, 16, 32), (1, 1, 2)), "memmap",
+                generic_host(), timesteps=1, check="bogus",
+            )
+
+
+# ----------------------------------------------------------------------
+# Runtime negotiation raises the checker-consistent typed error
+# ----------------------------------------------------------------------
+class TestNegotiation:
+    def test_send_recv_init_split_mismatch(self):
+        fabric = SimFabric(2)
+        buf = np.zeros(64)
+        fabric.send_init(0, [(1, 5, buf)], partitions=2)
+        with pytest.raises(SplitMismatchError, match="split disagreement"):
+            fabric.recv_init(1, [(0, 5, np.zeros(64))], partitions=3)
+
+    def test_register_split_byte_disagreement(self):
+        fabric = SimFabric(2)
+        fabric.register_split(0, 1, 9, 512, 1, "send")
+        with pytest.raises(SplitMismatchError):
+            fabric.register_split(0, 1, 9, 520, 1, "recv")
+
+    def test_reregistration_drops_stale_peer(self):
+        # Ladder demotion rebuilds a channel with different byte counts
+        # on the same tags; a same-side re-registration must not trip on
+        # the peer's stale entry.
+        fabric = SimFabric(2)
+        fabric.register_split(0, 1, 9, 512, 1, "send")
+        fabric.register_split(0, 1, 9, 512, 1, "recv")
+        fabric.register_split(0, 1, 9, 768, 1, "send")  # demoted engine
+        fabric.register_split(0, 1, 9, 768, 1, "recv")  # peer follows
+
+    def test_channel_negotiation_mismatch_in_spmd(self):
+        from repro.exchange.pack import PackExchanger
+
+        ext, g = (16, 16, 8), 8
+        shape = tuple(e + 2 * g for e in reversed(ext))
+
+        def fn(comm):
+            cart = comm.Create_cart((1, 1, 2))
+            arr = np.zeros(shape)
+            ex = PackExchanger(cart, arr, ext, g, generic_host())
+            # Endpoint disagreement: the checker's
+            # partition-split-mismatch finding, at runtime.
+            ex.make_channel(partitions=2 + cart.rank)
+
+        with pytest.raises(RankFailedError) as exc:
+            run_spmd(2, fn, timeout=20.0)
+        assert isinstance(exc.value.__cause__, SplitMismatchError)
+
+    def test_partition_bounds_shared_helper(self):
+        # The schedule verifier and the fabric must agree by
+        # construction: same helper, same bounds.
+        assert partition_bounds(10, 4) == ((0, 2), (2, 5), (5, 7), (7, 10))
+        assert partition_bounds(0, 4) == ((0, 0),)
+
+
+# ----------------------------------------------------------------------
+# C backend pass + sanitize/bounds modes
+# ----------------------------------------------------------------------
+class TestCBackend:
+    def test_pass_clean_here(self):
+        rep = CheckReport()
+        verify_cbackend(rep)
+        assert rep.ok, rep.render()
+
+    def test_bad_sanitize_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CC_SANITIZE", "address,bogus")
+        rep = CheckReport()
+        verify_cbackend(rep)
+        assert rep.has("sanitize-env")
+
+    def test_bad_bounds_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CC_BOUNDS", "2")
+        rep = CheckReport()
+        verify_cbackend(rep)
+        assert rep.has("bounds-env")
+
+    def test_sanitize_flags_parse(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CC_SANITIZE", "undefined")
+        flags = cbackend.sanitize_flags()
+        assert "-fsanitize=undefined" in flags and "-g" in flags
+        monkeypatch.setenv("REPRO_CC_SANITIZE", "")
+        assert cbackend.sanitize_flags() == ()
+
+    def test_guarded_kernel_bit_identical_and_raises(self):
+        taps = SEVEN_POINT.taps
+        np_bd, r, be = (8, 8, 8), 1, 512
+        plain_src = cbackend.batch_step_source(taps, np_bd, r, 0, be)
+        guard_src = cbackend.batch_step_source(
+            taps, np_bd, r, 0, be, guard=True
+        )
+        assert "int64_t repro_step" in guard_src
+        plain = cbackend._build(plain_src)
+        guarded = cbackend._build(guard_src, guard=True)
+        if plain is None or guarded is None:
+            pytest.skip("no C toolchain")
+        rng = np.random.default_rng(0)
+        nb = 2
+        halo = tuple(b + 2 * r for b in np_bd)
+        src = rng.random(nb * be)
+        index = np.full((nb,) + halo, -1, dtype=np.int64)
+        inner = np.arange(be).reshape(np_bd)
+        for b in range(nb):
+            index[b][1:-1, 1:-1, 1:-1] = inner + b * be
+        index = np.ascontiguousarray(index)
+        slots = np.arange(nb, dtype=np.int64)
+        d1 = np.zeros_like(src)
+        d2 = np.zeros_like(src)
+        plain(src, d1, index, slots)
+        guarded(src, d2, index, slots)
+        assert np.array_equal(d1, d2)
+        # Poison one index: the guard reports, the plain kernel would
+        # have read out of bounds.
+        bad = index.copy()
+        bad[0][5, 5, 5] = nb * be + 99  # an interior cell every tap reads
+        with pytest.raises(cbackend.KernelBoundsError, match="out-of-range"):
+            guarded(src, d2, np.ascontiguousarray(bad), slots)
+
+    def test_bounds_env_selects_guard_in_kernel_cache(self, monkeypatch):
+        if cbackend._compiler() is None or cbackend.cffi is None:
+            pytest.skip("no C toolchain")
+        monkeypatch.setenv("REPRO_CC_BOUNDS", "1")
+        fn = cbackend.batch_step_kernel(
+            SEVEN_POINT.taps, (8, 8, 8), 1, 0, 512, np.float64
+        )
+        assert fn is not None
+        assert "src_elems" in fn.__source__

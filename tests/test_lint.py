@@ -1,0 +1,69 @@
+"""The invariant lint passes on the repo and catches planted violations."""
+
+import ast
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+import lint_invariants  # noqa: E402
+
+
+def test_repo_is_clean(capsys):
+    assert lint_invariants.main([]) == 0
+    out = capsys.readouterr().out
+    assert "files clean" in out
+
+
+def test_list_mode(capsys):
+    assert lint_invariants.main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "src/repro/simmpi/fabric.py" in out
+
+
+def test_bare_raise_flagged():
+    src = (
+        "def f(x):\n"
+        "    if x < 0:\n"
+        "        raise ValueError('negative')\n"
+        "    raise RuntimeError\n"
+    )
+    path = lint_invariants.SRC / "simmpi" / "synthetic.py"
+    violations = sorted(
+        lint_invariants.check_bare_raises(path, ast.parse(src)),
+        key=lambda v: v[1],
+    )
+    assert len(violations) == 2
+    assert violations[0][1] == 3 and "ValueError" in violations[0][2]
+    assert violations[1][1] == 4 and "RuntimeError" in violations[1][2]
+
+
+def test_typed_raise_not_flagged():
+    src = (
+        "def f():\n"
+        "    raise SplitMismatchError('split disagreement')\n"
+    )
+    path = lint_invariants.SRC / "simmpi" / "synthetic.py"
+    assert lint_invariants.check_bare_raises(path, ast.parse(src)) == []
+
+
+def test_fabric_call_outside_chokepoint_flagged():
+    src = "def f(fabric):\n    fabric.post_send(0, 1, 2, b'x')\n"
+    path = lint_invariants.SRC / "exchange" / "synthetic.py"
+    violations = lint_invariants.check_fabric_chokepoint(
+        path, ast.parse(src)
+    )
+    assert len(violations) == 1
+    assert "post_send" in violations[0][2]
+
+
+def test_fabric_call_in_allowlisted_file_ok():
+    src = "def f(fabric):\n    fabric.post_send(0, 1, 2, b'x')\n"
+    path = lint_invariants.SRC / "simmpi" / "comm.py"
+    assert lint_invariants.check_fabric_chokepoint(path, ast.parse(src)) == []
+
+
+def test_lint_file_on_real_sources():
+    # Spot-check two real files through the full per-file path.
+    for rel in ("simmpi/fabric.py", "check/schedule.py"):
+        assert lint_invariants.lint_file(lint_invariants.SRC / rel) == []
